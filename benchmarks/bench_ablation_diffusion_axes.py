@@ -1,0 +1,72 @@
+"""Ablation: diffusion axes — x-only vs two-phase vs y-only (§IV-B, §III-E1).
+
+The paper restricts its diffusion scheme to the x direction, "justified as
+long as the drift velocity of the particle cloud matches the direction in
+which we perform the diffusion-based load balancing", and notes that a
+fixed decomposition "can easily be defeated by rotating the particle
+distribution over 90°".  This ablation quantifies both claims:
+
+* standard drift cloud: x-only ~ two-phase (y adds cost, no benefit);
+  y-only is no better than no LB at all;
+* rotated cloud: y-only balancing wins, x-only is defeated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_implementation
+from repro.bench.workloads import fig6_workload
+from repro.bench.figures import write_report
+
+CORES = 24
+STEP_FACTOR = 0.6
+
+
+def run_axes_ablation(progress=lambda s: None):
+    w = fig6_workload()
+    records = []
+    for rotated in (False, True):
+        spec = replace(w.spec_for(CORES), rotate90=rotated).scaled(
+            step_factor=STEP_FACTOR
+        )
+        rec = run_implementation(
+            "ablation-axes", "mpi-2d", spec, CORES, w.machine, w.cost
+        )
+        rec.params.update(axes="none", rotated=rotated)
+        records.append(rec)
+        for axes in ("x", "y", "xy"):
+            rec = run_implementation(
+                "ablation-axes", "mpi-2d-LB", spec, CORES, w.machine, w.cost,
+                axes=axes, **{k: v for k, v in w.lb_params.items()},
+            )
+            rec.params.update(axes=axes, rotated=rotated)
+            records.append(rec)
+            progress(f"axes={axes} rotated={rotated}: {rec.sim_time:.4f}s")
+    return records
+
+
+def test_ablation_diffusion_axes(benchmark, results_dir, quiet_progress):
+    records = run_once(benchmark, lambda: run_axes_ablation(quiet_progress))
+    write_report(
+        "ablation_axes",
+        "Ablation: diffusion axes (x / y / xy) on drifting and rotated clouds\n\n"
+        + format_table(records, extra_cols=("axes", "rotated")),
+        results_dir,
+    )
+    assert all(r.verified for r in records)
+    t = {(r.params["axes"], r.params["rotated"]): r.sim_time for r in records}
+
+    # Standard cloud (drifts along x): x balancing is what matters.
+    assert t[("x", False)] < t[("none", False)]
+    assert t[("x", False)] < t[("y", False)]
+    # Two-phase is not meaningfully better than x-only here (paper's choice).
+    assert t[("xy", False)] < t[("none", False)]
+    assert t[("xy", False)] > 0.85 * t[("x", False)]
+
+    # Rotated cloud: the skew now lives on rows; y balancing wins.
+    assert t[("y", True)] < t[("x", True)]
+    assert t[("y", True)] < t[("none", True)]

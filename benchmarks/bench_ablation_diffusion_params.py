@@ -1,0 +1,80 @@
+"""Ablation: co-tuning the diffusion parameters (frequency, width, tau).
+
+The paper (§IV-B): the LB frequency, threshold tau and border width "have
+interfering results on the effectiveness of the overall strategy and
+therefore should be co-tuned".  For the drifting geometric cloud, the
+governing quantity is the *boundary tracking speed* ``w / F`` (border
+columns moved per step) versus the cloud's drift speed (``2k+1`` cells per
+step): configurations that can track the cloud dominate those that cannot,
+regardless of how the same ratio is split between w and F.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import write_report
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_implementation
+from repro.bench.workloads import fig6_workload
+
+CORES = 24
+#: (lb_interval F, border_width w) points: tracking ratio w/F from 0.1 to 2.
+PARAM_GRID = [(10, 1), (5, 2), (2, 2), (1, 1), (2, 4), (1, 2)]
+THRESHOLDS = (0.02, 0.3)
+
+
+def run_param_ablation(progress=lambda s: None):
+    w = fig6_workload()
+    spec = w.spec_for(CORES).scaled(step_factor=0.6)
+    records = []
+    base = run_implementation(
+        "ablation-params", "mpi-2d", spec, CORES, w.machine, w.cost
+    )
+    base.params.update(F="-", w="-", tau="-", tracking="-")
+    records.append(base)
+    for f_value, width in PARAM_GRID:
+        rec = run_implementation(
+            "ablation-params", "mpi-2d-LB", spec, CORES, w.machine, w.cost,
+            lb_interval=f_value, border_width=width, threshold_fraction=0.02,
+        )
+        rec.params.update(
+            F=f_value, w=width, tau=0.02, tracking=round(width / f_value, 2)
+        )
+        records.append(rec)
+        progress(f"F={f_value} w={width}: {rec.sim_time:.4f}s")
+    for tau in THRESHOLDS:
+        rec = run_implementation(
+            "ablation-params", "mpi-2d-LB", spec, CORES, w.machine, w.cost,
+            lb_interval=2, border_width=3, threshold_fraction=tau,
+        )
+        rec.params.update(F=2, w=3, tau=tau, tracking=1.5)
+        records.append(rec)
+        progress(f"tau={tau}: {rec.sim_time:.4f}s")
+    return records
+
+
+def test_ablation_diffusion_params(benchmark, results_dir, quiet_progress):
+    records = run_once(benchmark, lambda: run_param_ablation(quiet_progress))
+    write_report(
+        "ablation_diffusion_params",
+        "Ablation: diffusion LB parameter co-tuning (F, w, tau)\n\n"
+        + format_table(records, extra_cols=("F", "w", "tau", "tracking")),
+        results_dir,
+    )
+    assert all(r.verified for r in records)
+
+    base_time = records[0].sim_time
+    lb = [r for r in records if r.implementation == "mpi-2d-LB" and r.params["tau"] == 0.02]
+    tracking = [r for r in lb if float(r.params["tracking"]) >= 1.0]
+    lagging = [r for r in lb if float(r.params["tracking"]) < 0.5]
+
+    # Configurations that track the cloud beat the baseline...
+    assert all(r.sim_time < base_time for r in tracking)
+    # ...and beat every configuration that cannot keep up.
+    assert max(r.sim_time for r in tracking) < min(r.sim_time for r in lagging)
+
+    # A too-coarse threshold suppresses balancing: behaves like the baseline.
+    coarse = [r for r in records if r.params.get("tau") == 0.3]
+    fine = [r for r in records if r.params.get("tau") == 0.02 and r.params.get("F") == 2 and r.params.get("w") == 3]
+    assert coarse[0].sim_time > fine[0].sim_time

@@ -1,0 +1,77 @@
+"""Ablation: the locality-hinted VP balancer (paper's closing remark).
+
+§V-B ends: "Even a diffusion based AMPI load balancer would not preserve
+the compactness of the subdomains unless it is properly hinted."  This
+ablation builds that hinted balancer (:class:`HintedTransferLB`) and tests
+the claim at multi-node strong scale:
+
+* the locality-agnostic GreedyLB leaves the VP layout heavily fragmented
+  (low locality score);
+* the hinted balancer keeps the layout substantially more compact, and
+  performs at least comparably.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.ampi.loadbalancer import (
+    GreedyLB,
+    GreedyTransferLB,
+    HintedTransferLB,
+    VpTopology,
+    locality_score,
+)
+from repro.bench.figures import write_report
+from repro.bench.reporting import format_table
+from repro.bench.runner import RunRecord
+from repro.bench.workloads import fig6_workload
+from repro.decomp.grid import factor_2d
+from repro.parallel import AmpiPIC
+
+CORES = 96
+D = 8
+F = 25
+
+
+def run_hinted_ablation(progress=lambda s: None):
+    w = fig6_workload()
+    spec = w.spec_for(CORES).scaled(step_factor=0.5)
+    topo = VpTopology(factor_2d(CORES * D))
+    records = []
+    scores = {}
+    for strategy in (GreedyLB(), GreedyTransferLB(), HintedTransferLB()):
+        impl = AmpiPIC(
+            spec, CORES, machine=w.machine, cost=w.cost,
+            overdecomposition=D, lb_interval=F, strategy=strategy,
+        )
+        result = impl.run()
+        assert result.verification.ok
+        score = locality_score(result.final_rank_to_core, topo)
+        scores[strategy.name] = score
+        rec = RunRecord.from_result("ablation-hinted", result, 0.0)
+        rec.params.update(strategy=strategy.name, locality=round(score, 3))
+        records.append(rec)
+        progress(f"{strategy.name}: {result.total_time:.4f}s locality={score:.3f}")
+    return records, scores
+
+
+def test_ablation_hinted_balancer(benchmark, results_dir, quiet_progress):
+    records, scores = run_once(
+        benchmark, lambda: run_hinted_ablation(quiet_progress)
+    )
+    write_report(
+        "ablation_hinted_lb",
+        "Ablation: locality-hinted VP balancer (96 cores, d=8, F=25)\n\n"
+        + format_table(records, extra_cols=("strategy", "locality")),
+        results_dir,
+    )
+    times = {r.params["strategy"]: r.sim_time for r in records}
+
+    # The hinted balancer preserves compactness far better than GreedyLB...
+    assert scores["HintedTransferLB"] > scores["GreedyLB"] + 0.1
+    # ...and does not pay a performance price for it.
+    assert times["HintedTransferLB"] <= 1.1 * min(times.values())
+    benchmark.extra_info.update(
+        {f"locality_{k}": round(v, 3) for k, v in scores.items()}
+    )

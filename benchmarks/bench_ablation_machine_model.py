@@ -1,0 +1,80 @@
+"""Ablation: machine-aware co-tuning of the load-balancing frequency.
+
+The paper stresses that the diffusion scheme's parameters "have interfering
+results ... and therefore should be co-tuned", and that inter-node
+communication is "orders of magnitude more expensive compared to a shared
+memory setting".  This ablation connects the two: every diffusion round
+costs global collectives (column reduction + row allgather), whose price is
+set by the interconnect — so the optimal balancing frequency depends on the
+machine.
+
+Measured shape (96 cores, fig. 6 workload): on the default Edison-like
+network, balancing every step (F=1) is optimal; on a 10x slower network the
+per-round collectives dominate and the optimum shifts to rarer balancing
+(F=4), with F=1 the *worst* choice of the sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import write_report
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_implementation
+from repro.bench.workloads import FIG6_CELL_SCALE, FIG6_SCALE, fig6_workload, scaled_cost
+from repro.runtime.machine import MachineModel, Tier, TierCosts
+
+CORES = 96
+F_SWEEP = ((1, 4), (2, 4), (4, 4), (8, 8))
+
+
+def slow_network_machine(factor: float = 10.0) -> MachineModel:
+    """Edison-like machine with a ``factor``-times worse interconnect."""
+    tiers = dict(MachineModel().tier_costs)
+    net = tiers[Tier.NETWORK]
+    tiers[Tier.NETWORK] = TierCosts(
+        latency=net.latency * factor, bandwidth=net.bandwidth / factor
+    )
+    return MachineModel(tier_costs=tiers, name=f"slow-net-x{factor:g}")
+
+
+def run_network_cotuning(progress=lambda s: None):
+    w = fig6_workload()
+    spec = w.spec_for(CORES).scaled(step_factor=0.5)
+    records = []
+    best = {}
+    for label, machine in (("default", w.machine), ("slow-net", slow_network_machine())):
+        cost = scaled_cost(machine, FIG6_SCALE, FIG6_CELL_SCALE)
+        times = {}
+        for f_value, width in F_SWEEP:
+            rec = run_implementation(
+                "ablation-machine", "mpi-2d-LB", spec, CORES, machine, cost,
+                lb_interval=f_value, border_width=width, threshold_fraction=0.02,
+            )
+            rec.params.update(network=label, F=f_value, w=width)
+            records.append(rec)
+            times[f_value] = rec.sim_time
+            progress(f"{label} F={f_value}: {rec.sim_time:.4f}s")
+        best[label] = min(times, key=times.get)
+    return records, best
+
+
+def test_ablation_network_aware_lb_frequency(benchmark, results_dir, quiet_progress):
+    records, best = run_once(benchmark, lambda: run_network_cotuning(quiet_progress))
+    write_report(
+        "ablation_machine_model",
+        "Ablation: optimal diffusion frequency depends on the interconnect "
+        f"(96 cores)\n\n{format_table(records, extra_cols=('network', 'F', 'w'))}",
+        results_dir,
+    )
+    assert all(r.verified for r in records)
+    benchmark.extra_info["best_F_default"] = best["default"]
+    benchmark.extra_info["best_F_slow_net"] = best["slow-net"]
+
+    # Fast network: balance as often as possible.  Slow network: the
+    # per-round collectives make frequent balancing counterproductive.
+    assert best["default"] < best["slow-net"]
+
+    t = {(r.params["network"], r.params["F"]): r.sim_time for r in records}
+    # On the slow network, every-step balancing is beaten by rarer rounds.
+    assert t[("slow-net", 1)] > t[("slow-net", 4)]

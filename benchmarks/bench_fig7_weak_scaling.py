@@ -1,0 +1,49 @@
+"""Figure 7: weak scaling — particles grow with cores, grid fixed.
+
+Shapes from the paper: both load-balanced implementations significantly
+outperform the baseline at scale (paper: 2.4x for ampi and 1.8x for
+mpi-2d-LB at 3,072 cores), the two stay comparable, and ampi edges out
+mpi-2d-LB at the largest scale — migrating subgrids gets relatively cheaper
+as per-core subdomains shrink while particle counts grow.
+
+Set ``REPRO_FULL=1`` to extend the sweep to the paper's 3,072-core point
+(slow in pure Python).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import report_fig7, run_fig7, write_report
+
+
+def test_fig7_weak_scaling(benchmark, results_dir, quiet_progress):
+    records = run_once(benchmark, lambda: run_fig7(quiet_progress))
+    write_report("fig7", report_fig7(records), results_dir)
+
+    assert all(r.verified for r in records)
+    by = {(r.implementation, r.cores): r for r in records}
+    top = max(r.cores for r in records)
+
+    base_top = by[("mpi-2d", top)].sim_time
+    lb_top = by[("mpi-2d-LB", top)].sim_time
+    ampi_top = by[("ampi", top)].sim_time
+
+    # Both balanced implementations clearly beat the baseline at scale —
+    # the figure's primary result (paper: ampi 2.4x, LB 1.8x at 3072).
+    benchmark.extra_info["ampi_gain_top"] = round(base_top / ampi_top, 2)
+    benchmark.extra_info["lb_gain_top"] = round(base_top / lb_top, 2)
+    assert base_top / ampi_top > 1.3
+    assert base_top / lb_top > 1.25
+
+    # AMPI and LB stay comparable.  The paper's secondary observation —
+    # ampi *overtaking* LB at the very top — did not reproduce: our
+    # diffusion implementation is effectively better tuned than the
+    # paper's, and the scaled presets weigh AMPI's per-invocation
+    # migration cost more heavily (see EXPERIMENTS.md, deviations).
+    assert ampi_top < 1.35 * lb_top
+
+    # Weak scaling sanity: the baseline's time grows with scale (imbalance
+    # deepens), while the balanced versions grow much more slowly.
+    base_first = by[("mpi-2d", min(r.cores for r in records))].sim_time
+    assert base_top > base_first

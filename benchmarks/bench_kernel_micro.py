@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the computational kernel and runtime hot paths.
+
+These measure *real* wall time (unlike the figure benches, whose scientific
+output is simulated time): particle-push throughput, exchange packing, and
+scheduler op dispatch — the quantities that bound the harness's capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.initialization import initialize
+from repro.core.kernel import advance
+from repro.core.mesh import Mesh
+from repro.core.spec import Distribution, PICSpec
+from repro.runtime import SUM, run_spmd
+
+
+@pytest.mark.parametrize("n", [1_000, 100_000])
+def test_kernel_push_throughput(benchmark, n):
+    spec = PICSpec(
+        cells=256, n_particles=n, steps=1, distribution=Distribution.UNIFORM
+    )
+    mesh = Mesh(spec.cells)
+    particles = initialize(spec, mesh)
+
+    def push():
+        advance(mesh, particles, spec.dt)
+
+    benchmark(push)
+    benchmark.extra_info["particles"] = n
+
+
+def test_particle_pack_roundtrip(benchmark):
+    spec = PICSpec(
+        cells=256, n_particles=50_000, steps=1, distribution=Distribution.UNIFORM
+    )
+    mesh = Mesh(spec.cells)
+    particles = initialize(spec, mesh)
+    mask = particles.x < 128.0
+
+    def roundtrip():
+        buf = particles.pack(mask)
+        return type(particles).from_packed(buf)
+
+    benchmark(roundtrip)
+
+
+def test_scheduler_op_dispatch_rate(benchmark):
+    """Sendrecv ping-pong: measures per-op harness overhead."""
+
+    def prog(comm):
+        partner = 1 - comm.rank
+        payload = np.zeros(16)
+        for _ in range(500):
+            yield comm.sendrecv(payload, dst=partner, src=partner)
+        return None
+
+    def run():
+        return run_spmd(2, prog)
+
+    benchmark(run)
+
+
+def test_allreduce_rate(benchmark):
+    def prog(comm):
+        total = 0
+        for _ in range(200):
+            total = yield comm.allreduce(1, op=SUM)
+        return total
+
+    def run():
+        return run_spmd(8, prog)
+
+    result = benchmark(run)
+    assert result.returns[0] == 8

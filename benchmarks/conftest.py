@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure benchmarks.
+
+Every benchmark runs its figure exactly once (``benchmark.pedantic`` with a
+single round): the scientific output is the *simulated* time recorded in the
+report files under ``benchmarks/results/``, not the wall time pytest-benchmark
+measures — the wall time only tracks harness cost.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def quiet_progress():
+    """Progress sink that keeps benchmark output clean."""
+    messages: list[str] = []
+    return messages.append
+
+
+def run_once(benchmark, fn):
+    """Run a figure driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Mini version of the paper's Fig. 5: tuning the AMPI runtime knobs.
+
+Adaptive MPI exposes two tunables: how often the load balancer runs
+(interval F) and how far the problem is over-decomposed (d virtual
+processors per core).  The paper shows both must be co-tuned — too-frequent
+balancing thrashes, too-rare balancing leaves imbalance; no
+over-decomposition gives the balancer nothing to move, while extreme
+over-decomposition drowns in scheduling overhead.
+
+Run:  python examples/ampi_tuning.py      (~1 minute)
+"""
+
+from repro.ampi.loadbalancer import GreedyLB
+from repro.core.spec import PICSpec
+from repro.parallel import AmpiPIC
+from repro.runtime.costmodel import CostModel
+from repro.runtime.machine import MachineModel
+
+CORES = 24
+
+
+def sparkline(values):
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values)
+
+
+def main():
+    machine = MachineModel()
+    cost = CostModel(
+        machine=machine,
+        particle_push_s=3.5e-6,
+        particle_pack_s=25 * 1.5e-8,
+        particle_byte_scale=25.0,   # price communication at paper-like volume
+        cell_byte_scale=100.0,
+    )
+    spec = PICSpec(cells=288, n_particles=12_000, steps=120, r=0.99)
+    print(f"workload: {spec.describe()} on {CORES} simulated cores\n")
+
+    print("sweep 1: LB interval F (fixed d=4)")
+    f_values = (2, 4, 8, 16, 32, 64)
+    f_times = []
+    for f in f_values:
+        res = AmpiPIC(
+            spec, CORES, machine=machine, cost=cost,
+            overdecomposition=4, lb_interval=f,
+            strategy=GreedyLB(),  # the churn-heavy Charm++ strategy of Fig. 5
+        ).run()
+        assert res.verification.ok
+        f_times.append(res.total_time)
+        print(f"  F={f:<3d} -> {res.total_time:.3f}s")
+    print(f"  {sparkline(f_times)}   best F={f_values[f_times.index(min(f_times))]}, "
+          f"worst/best = {max(f_times) / min(f_times):.2f}x\n")
+
+    print("sweep 2: over-decomposition d (fixed F=24)")
+    d_values = (1, 2, 4, 8, 16)
+    d_times = []
+    for d in d_values:
+        res = AmpiPIC(
+            spec, CORES, machine=machine, cost=cost,
+            overdecomposition=d, lb_interval=24,
+            strategy=GreedyLB(),
+        ).run()
+        assert res.verification.ok
+        d_times.append(res.total_time)
+        print(f"  d={d:<3d} -> {res.total_time:.3f}s")
+    print(f"  {sparkline(d_times)}   best d={d_values[d_times.index(min(d_times))]}, "
+          f"d=1/best = {d_times[0] / min(d_times):.2f}x")
+
+    print(
+        "\nPaper Fig. 5 (192 cores, full scale): 4.2x between the most "
+        "frequent and the best F;\n2.2x between d=1 and d=16."
+    )
+
+
+if __name__ == "__main__":
+    main()

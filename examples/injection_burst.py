@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Dynamic work creation: particle injection and removal (§III-E5).
+
+Starts from a perfectly balanced uniform distribution, then injects a dense
+patch of new particles into one corner mid-run and later removes half the
+particles from a band of the domain.  The static decomposition has no
+answer to either shock; the balanced implementations adapt.
+
+Every injected particle is still analytically verifiable (it carries its
+birth step), and the id checksum accounts for the removals — so the run
+proves not just performance but correctness of all the data movement.
+
+Run:  python examples/injection_burst.py
+"""
+
+from repro.core.spec import (
+    Distribution,
+    InjectionEvent,
+    PICSpec,
+    Region,
+    RemovalEvent,
+)
+from repro.parallel import AmpiPIC, Mpi2dLbPIC, Mpi2dPIC
+from repro.runtime.costmodel import CostModel
+from repro.runtime.machine import MachineModel
+
+CORES = 24
+
+
+def main():
+    machine = MachineModel()
+    cost = CostModel(machine=machine, particle_push_s=3.5e-6)
+    cells = 288
+    spec = PICSpec(
+        cells=cells,
+        n_particles=12_000,
+        steps=150,
+        distribution=Distribution.UNIFORM,
+        events=(
+            # Step 30: dump 24,000 particles into the lower-left 48x48 cells.
+            InjectionEvent(step=30, region=Region(0, 48, 0, 48), count=24_000),
+            # Step 90: evaporate half the particles in the middle band.
+            RemovalEvent(step=90, region=Region(96, 192, 0, cells), fraction=0.5),
+        ),
+    )
+    print(f"workload: {spec.describe()} on {CORES} simulated cores\n")
+
+    for name, impl in [
+        ("mpi-2d (static)", Mpi2dPIC(spec, CORES, machine=machine, cost=cost)),
+        (
+            "mpi-2d-LB",
+            Mpi2dLbPIC(
+                spec, CORES, machine=machine, cost=cost,
+                lb_interval=2, border_width=3, threshold_fraction=0.02,
+            ),
+        ),
+        (
+            "ampi",
+            AmpiPIC(
+                spec, CORES, machine=machine, cost=cost,
+                overdecomposition=8, lb_interval=15,
+            ),
+        ),
+    ]:
+        res = impl.run()
+        v = res.verification
+        print(
+            f"{name:<18} sim time {res.total_time:7.3f}s   "
+            f"max particles/core {res.max_particles_per_core:>6}   "
+            f"final n={v.n_particles}   verified={v.ok}"
+        )
+
+    print(
+        "\nInjected particles carry their birth step, so the closed-form "
+        "verification still\nholds; removals are deterministic by particle-id "
+        "hash, so every decomposition\nremoves the same particles and the id "
+        "checksum stays exact."
+    )
+
+
+if __name__ == "__main__":
+    main()

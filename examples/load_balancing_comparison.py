@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare the three parallel implementations on a skewed workload.
+
+Reproduces, at laptop scale, the experiment of the paper's Fig. 6 left at
+24 cores: the geometric particle cloud drifts across the domain, the static
+``mpi-2d`` decomposition suffers, the diffusion-balanced ``mpi-2d-LB``
+tracks the cloud, and the AMPI-style runtime balances by migrating virtual
+processors.
+
+All three implementations run on the simulated MPI runtime: reported times
+are *simulated* seconds on an Edison-like machine model, and each run ends
+with the PRK's exact self-verification.
+
+Run:  python examples/load_balancing_comparison.py
+"""
+
+from repro.core.spec import PICSpec
+from repro.parallel import AmpiPIC, Mpi2dLbPIC, Mpi2dPIC
+from repro.runtime.costmodel import CostModel
+from repro.runtime.machine import MachineModel
+
+CORES = 24
+
+
+def main():
+    machine = MachineModel()  # 2 sockets x 12 cores per node, Aries-like net
+    cost = CostModel(machine=machine, particle_push_s=3.5e-6)
+    spec = PICSpec(cells=288, n_particles=24_000, steps=150, r=0.99)
+    serial = cost.push_time(spec.n_particles) * spec.steps
+
+    print(f"workload: {spec.describe()} on {CORES} simulated cores")
+    print(f"serial model time: {serial:.2f}s  "
+          f"(ideal particles/core: {spec.n_particles / CORES:.0f})\n")
+
+    implementations = [
+        ("mpi-2d (baseline)", Mpi2dPIC(spec, CORES, machine=machine, cost=cost)),
+        (
+            "mpi-2d-LB (diffusion)",
+            Mpi2dLbPIC(
+                spec, CORES, machine=machine, cost=cost,
+                lb_interval=2, border_width=3, threshold_fraction=0.02,
+            ),
+        ),
+        (
+            "ampi (VP migration)",
+            AmpiPIC(
+                spec, CORES, machine=machine, cost=cost,
+                overdecomposition=8, lb_interval=25,
+            ),
+        ),
+    ]
+
+    baseline_time = None
+    print(f"{'implementation':<24} {'sim time':>9} {'speedup':>8} "
+          f"{'vs base':>8} {'max p/core':>11} {'verified':>9}")
+    for name, impl in implementations:
+        res = impl.run()
+        if baseline_time is None:
+            baseline_time = res.total_time
+        print(
+            f"{name:<24} {res.total_time:8.3f}s {serial / res.total_time:7.1f}x "
+            f"{baseline_time / res.total_time:7.2f}x {res.max_particles_per_core:>11} "
+            f"{str(res.verification.ok):>9}"
+        )
+
+    print(
+        "\nThe paper's Fig. 6 (left) reports the same ordering at 24 cores: "
+        "diffusion LB ~1.6x\nand AMPI ~1.3x over the baseline, with the "
+        "baseline's max particles/core more than\ntwice the ideal."
+    )
+
+
+if __name__ == "__main__":
+    main()

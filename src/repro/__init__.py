@@ -1,0 +1,49 @@
+"""repro: a reproduction of the PIC Parallel Research Kernel (IPDPS 2016).
+
+The package implements, in pure Python + NumPy:
+
+* :mod:`repro.core` — the PIC PRK specification: mesh, particles, force and
+  integration kernel, controllable initial distributions, injection/removal
+  events and the O(1)-per-particle self-verification.
+* :mod:`repro.runtime` — a deterministic simulated MPI runtime (message
+  matching, collectives, Cartesian communicators) with per-rank virtual
+  clocks driven by a hierarchical machine/cost model.
+* :mod:`repro.decomp` — 2D block domain decomposition with movable
+  boundaries.
+* :mod:`repro.parallel` — the paper's three reference implementations:
+  ``mpi-2d`` (static, no load balancing), ``mpi-2d-LB`` (diffusion-based
+  application-specific load balancing) and ``ampi`` (over-decomposed virtual
+  processors balanced by the runtime).
+* :mod:`repro.ampi` — the AMPI/Charm++-like virtual-processor runtime with a
+  zoo of load balancers.
+* :mod:`repro.bench` — the harness that regenerates the paper's figures.
+"""
+
+from repro.core import (
+    Distribution,
+    InjectionEvent,
+    Mesh,
+    ParticleArray,
+    PICSpec,
+    Region,
+    RemovalEvent,
+    SerialResult,
+    SerialSimulation,
+    run_serial,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Distribution",
+    "InjectionEvent",
+    "Mesh",
+    "ParticleArray",
+    "PICSpec",
+    "Region",
+    "RemovalEvent",
+    "SerialResult",
+    "SerialSimulation",
+    "run_serial",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""AMPI/Charm++-like runtime substrate (paper §IV-C substitute).
+
+Adaptive MPI runs each MPI rank as a migratable user-level thread (virtual
+processor, VP) and over-decomposes the problem into ``d`` VPs per physical
+core; the Charm++ load balancer periodically migrates VPs between cores.
+
+In this reproduction a VP is simply a rank of the simulated runtime whose
+core assignment can change at run time.  This package provides:
+
+* :mod:`repro.ampi.loadbalancer` — the strategy zoo (GreedyTransferLB — the
+  paper's "most loaded to least loaded" choice — plus GreedyLB, RefineLB,
+  NullLB);
+* :mod:`repro.ampi.pup` — PUP-style sizing of migratable VP state;
+* :mod:`repro.ampi.runtime` — the ``migrate()`` collective that gathers VP
+  loads, runs a strategy, re-maps VPs to cores and charges migration costs.
+"""
+
+from repro.ampi.loadbalancer import (
+    GreedyLB,
+    GreedyTransferLB,
+    HintedTransferLB,
+    LoadBalancer,
+    NullLB,
+    RefineLB,
+    VpTopology,
+    locality_score,
+)
+from repro.ampi.pup import vp_state_bytes
+from repro.ampi.runtime import migrate
+
+__all__ = [
+    "GreedyLB",
+    "GreedyTransferLB",
+    "HintedTransferLB",
+    "LoadBalancer",
+    "NullLB",
+    "RefineLB",
+    "VpTopology",
+    "locality_score",
+    "vp_state_bytes",
+    "migrate",
+]

@@ -1,0 +1,321 @@
+"""Load-balancing strategies for the AMPI-like runtime.
+
+Each strategy maps VP loads to a new VP->core assignment.  All are
+*locality-agnostic*, like the Charm++ balancers the paper exercised: they
+look only at scalar loads, never at which VPs communicate — which is
+precisely the weakness the paper's strong-scaling experiment exposes
+(§V-B: "the runtime does not restrict the migration to the VPs owning the
+subgrids on the borders of the subdomains").
+
+Strategies are pure: ``rebalance(loads, mapping, n_cores)`` returns the new
+mapping without mutating inputs, so the runtime can compare old and new to
+compute migration volume.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+
+@dataclass(frozen=True)
+class VpTopology:
+    """Cartesian neighbor structure of the virtual processors.
+
+    Strategies that want to preserve locality (the paper's closing remark:
+    "even a diffusion based AMPI load balancer would not preserve the
+    compactness of the subdomains unless it is properly hinted") receive
+    this as the hint.  ``dims`` is the VP grid ``(Px, Py)`` with row-major
+    ranks, periodic in both directions — matching
+    :class:`repro.runtime.cart.CartComm`.
+    """
+
+    dims: tuple[int, int]
+
+    @property
+    def n_vps(self) -> int:
+        return self.dims[0] * self.dims[1]
+
+    def neighbors(self, vp: int) -> list[int]:
+        """The four Cartesian neighbors of a VP (periodic, de-duplicated)."""
+        px, py = self.dims
+        cx, cy = vp // py, vp % py
+        out = []
+        for dx, dy in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            n = ((cx + dx) % px) * py + (cy + dy) % py
+            if n != vp and n not in out:
+                out.append(n)
+        return out
+
+
+class LoadBalancer(Protocol):
+    """Strategy interface.
+
+    ``topology`` is an optional locality hint; locality-agnostic strategies
+    (all the stock Charm++-style ones) ignore it.
+    """
+
+    name: str
+
+    def rebalance(
+        self,
+        loads: Sequence[float],
+        mapping: Sequence[int],
+        n_cores: int,
+        topology: VpTopology | None = None,
+    ) -> list[int]:
+        """Return the new VP->core mapping."""
+        ...
+
+
+def _core_loads(loads: Sequence[float], mapping: Sequence[int], n_cores: int) -> list[float]:
+    out = [0.0] * n_cores
+    for vp, core in enumerate(mapping):
+        out[core] += loads[vp]
+    return out
+
+
+def _validate(loads, mapping, n_cores) -> None:
+    if len(loads) != len(mapping):
+        raise ValueError("loads and mapping must have equal length")
+    if n_cores <= 0:
+        raise ValueError("n_cores must be positive")
+    for core in mapping:
+        if not 0 <= core < n_cores:
+            raise ValueError(f"mapping references core {core} outside 0..{n_cores - 1}")
+
+
+@dataclass(frozen=True)
+class NullLB:
+    """Never migrates (the 'LB disabled' control)."""
+
+    name: str = "NullLB"
+
+    def rebalance(self, loads, mapping, n_cores, topology=None):
+        _validate(loads, mapping, n_cores)
+        return list(mapping)
+
+
+@dataclass(frozen=True)
+class GreedyLB:
+    """Charm++-style GreedyLB: full reassignment, heaviest VP first.
+
+    Ignores current placement entirely, so it achieves near-perfect balance
+    at the price of migrating almost every VP — maximal locality
+    destruction, maximal migration volume.
+    """
+
+    name: str = "GreedyLB"
+
+    def rebalance(self, loads, mapping, n_cores, topology=None):
+        _validate(loads, mapping, n_cores)
+        order = sorted(range(len(loads)), key=lambda vp: (-loads[vp], vp))
+        heap = [(0.0, core) for core in range(n_cores)]
+        heapq.heapify(heap)
+        new_mapping = [0] * len(loads)
+        for vp in order:
+            load, core = heapq.heappop(heap)
+            new_mapping[vp] = core
+            heapq.heappush(heap, (load + loads[vp], core))
+        return new_mapping
+
+
+@dataclass(frozen=True)
+class GreedyTransferLB:
+    """The paper's choice: migrate VPs from the most to the least loaded core.
+
+    Iteratively moves the lightest adequate VP off the most loaded core onto
+    the least loaded one, stopping when the transfer would overshoot (or a
+    move budget is reached).  Keeps most placements intact — far less
+    migration volume than :class:`GreedyLB`, at the price of a coarser
+    balance.
+    """
+
+    name: str = "GreedyTransferLB"
+    #: Stop when max core load is within this factor of the mean.
+    tolerance: float = 1.05
+    #: Upper bound on migrations per invocation, as a fraction of VP count.
+    max_moves_fraction: float = 0.25
+
+    def rebalance(self, loads, mapping, n_cores, topology=None):
+        _validate(loads, mapping, n_cores)
+        new_mapping = list(mapping)
+        core_load = _core_loads(loads, new_mapping, n_cores)
+        by_core: list[list[int]] = [[] for _ in range(n_cores)]
+        for vp, core in enumerate(new_mapping):
+            by_core[core].append(vp)
+
+        n_vps = len(loads)
+        total = sum(loads)
+        mean = total / n_cores
+        max_moves = max(1, int(self.max_moves_fraction * n_vps))
+        for _ in range(max_moves):
+            src = max(range(n_cores), key=lambda c: (core_load[c], c))
+            dst = min(range(n_cores), key=lambda c: (core_load[c], c))
+            if core_load[src] <= self.tolerance * mean:
+                break
+            gap = core_load[src] - core_load[dst]
+            # Heaviest VP on src that still helps: moving it must not make
+            # dst heavier than src was (no oscillation).
+            candidates = [vp for vp in by_core[src] if loads[vp] > 0 and loads[vp] < gap]
+            if not candidates:
+                break
+            vp = max(candidates, key=lambda v: (loads[v], -v))
+            by_core[src].remove(vp)
+            by_core[dst].append(vp)
+            core_load[src] -= loads[vp]
+            core_load[dst] += loads[vp]
+            new_mapping[vp] = dst
+        return new_mapping
+
+
+@dataclass(frozen=True)
+class RefineLB:
+    """Charm++-style RefineLB: trim only the cores above threshold.
+
+    Like :class:`GreedyTransferLB` but moves the *lightest* helpful VP each
+    time, minimizing per-move disruption; intended for incremental touch-ups
+    between rarer full rebalances.
+    """
+
+    name: str = "RefineLB"
+    overload_tolerance: float = 1.1
+
+    def rebalance(self, loads, mapping, n_cores, topology=None):
+        _validate(loads, mapping, n_cores)
+        new_mapping = list(mapping)
+        core_load = _core_loads(loads, new_mapping, n_cores)
+        by_core: list[list[int]] = [[] for _ in range(n_cores)]
+        for vp, core in enumerate(new_mapping):
+            by_core[core].append(vp)
+        mean = sum(loads) / n_cores
+        limit = self.overload_tolerance * mean
+        for _ in range(len(loads)):
+            src = max(range(n_cores), key=lambda c: (core_load[c], c))
+            if core_load[src] <= limit:
+                break
+            dst = min(range(n_cores), key=lambda c: (core_load[c], c))
+            candidates = [
+                vp
+                for vp in by_core[src]
+                if loads[vp] > 0 and core_load[dst] + loads[vp] <= limit
+            ]
+            if not candidates:
+                break
+            vp = min(candidates, key=lambda v: (loads[v], v))
+            by_core[src].remove(vp)
+            by_core[dst].append(vp)
+            core_load[src] -= loads[vp]
+            core_load[dst] += loads[vp]
+            new_mapping[vp] = dst
+        return new_mapping
+
+
+@dataclass(frozen=True)
+class HintedTransferLB:
+    """Locality-hinted transfer balancer (the paper's suggested fix).
+
+    §V-B closes: "Even a diffusion based AMPI load balancer would not
+    preserve the compactness of the subdomains unless it is properly
+    hinted."  This strategy is that hinted balancer: it moves VPs from the
+    most loaded core like :class:`GreedyTransferLB`, but
+
+    * it only offers *border* VPs — those with at least one Cartesian
+      neighbor already living on another core — keeping each core's
+      subdomain compact (interior VPs never become remote islands), and
+    * among admissible destinations it prefers the core hosting the most
+      neighbors of the moved VP, so donated VPs land next to their
+      communication partners.
+
+    Without a topology hint it degrades gracefully to plain
+    :class:`GreedyTransferLB` behaviour.
+    """
+
+    name: str = "HintedTransferLB"
+    tolerance: float = 1.05
+    max_moves_fraction: float = 0.25
+
+    def rebalance(self, loads, mapping, n_cores, topology=None):
+        _validate(loads, mapping, n_cores)
+        new_mapping = list(mapping)
+        core_load = _core_loads(loads, new_mapping, n_cores)
+        by_core: list[list[int]] = [[] for _ in range(n_cores)]
+        for vp, core in enumerate(new_mapping):
+            by_core[core].append(vp)
+
+        neighbor_lists = (
+            [topology.neighbors(vp) for vp in range(len(loads))]
+            if topology is not None
+            else None
+        )
+        mean = sum(loads) / n_cores
+        max_moves = max(1, int(self.max_moves_fraction * len(loads)))
+        for _ in range(max_moves):
+            src = max(range(n_cores), key=lambda c: (core_load[c], c))
+            if core_load[src] <= self.tolerance * mean:
+                break
+            # Any underloaded core is an admissible destination; the
+            # affinity preference picks among them, and an overshoot guard
+            # below keeps the pair from oscillating.
+            admissible = [
+                c for c in range(n_cores) if c != src and core_load[c] < mean
+            ]
+            if not admissible:
+                break
+
+            def is_border(vp: int) -> bool:
+                if neighbor_lists is None:
+                    return True
+                return any(new_mapping[n] != src for n in neighbor_lists[vp])
+
+            dst_default = min(admissible, key=lambda c: (core_load[c], c))
+            gap = core_load[src] - core_load[dst_default]
+            helpful = [
+                vp for vp in by_core[src] if loads[vp] > 0 and loads[vp] < gap
+            ]
+            candidates = [vp for vp in helpful if is_border(vp)]
+            if not candidates:
+                # A core owning a borderless (self-contained) region -- e.g.
+                # everything at startup -- has no compactness to preserve:
+                # fall back to any helpful VP.
+                candidates = helpful
+            if not candidates:
+                break
+            vp = max(candidates, key=lambda v: (loads[v], -v))
+            if neighbor_lists is None:
+                dst = dst_default
+            else:
+                # Prefer the admissible core hosting the most neighbors.
+                def affinity(c: int) -> tuple:
+                    hosted = sum(1 for n in neighbor_lists[vp] if new_mapping[n] == c)
+                    return (-hosted, core_load[c], c)
+
+                dst = min(admissible, key=affinity)
+                # Overshoot guard: never leave the destination heavier than
+                # the source was.
+                if core_load[dst] + loads[vp] >= core_load[src]:
+                    dst = dst_default
+            by_core[src].remove(vp)
+            by_core[dst].append(vp)
+            core_load[src] -= loads[vp]
+            core_load[dst] += loads[vp]
+            new_mapping[vp] = dst
+        return new_mapping
+
+
+def locality_score(mapping: Sequence[int], topology: VpTopology) -> float:
+    """Fraction of VP neighbor pairs co-located on one core (1.0 = compact).
+
+    The quantity the paper argues locality-agnostic balancers destroy; used
+    by the hinted-balancer ablation and the instrumentation layer.
+    """
+    pairs = 0
+    local = 0
+    for vp in range(topology.n_vps):
+        for n in topology.neighbors(vp):
+            if n > vp:
+                pairs += 1
+                if mapping[vp] == mapping[n]:
+                    local += 1
+    return local / pairs if pairs else 1.0

@@ -1,0 +1,41 @@
+"""PUP-style state sizing for VP migration.
+
+AMPI migrates a VP either with isomalloc (move the whole heap) or with
+user-provided pack/unpack (PUP) routines that serialize exactly the live
+state; the paper chose PUP "because it yields higher performance".  The
+byte count a PUP routine would produce is what the migration cost model
+needs: the VP's particle buffer plus its stored subgrid plus a fixed stack/
+bookkeeping footprint.
+"""
+
+from __future__ import annotations
+
+from repro.core.particles import ParticleArray
+
+#: Fixed per-VP overhead bytes: thread stack, communicator state, buffers.
+VP_FIXED_BYTES: int = 16 * 1024
+
+#: Stored bytes per mesh cell of the VP's subgrid (charge value at each
+#: point, as the reference implementation stores it).
+BYTES_PER_CELL: int = 8
+
+
+def vp_state_bytes(
+    particles: ParticleArray,
+    subgrid_cells: int,
+    *,
+    particle_byte_scale: float = 1.0,
+    cell_byte_scale: float = 1.0,
+) -> int:
+    """Bytes a PUP routine serializes when migrating this VP.
+
+    The byte scales let scaled-down benchmark workloads price the state at
+    the paper's full-scale volume (see repro.bench.workloads).
+    """
+    if subgrid_cells < 0:
+        raise ValueError("subgrid_cells must be non-negative")
+    return (
+        VP_FIXED_BYTES
+        + int(particles.nbytes * particle_byte_scale)
+        + int(subgrid_cells * cell_byte_scale) * BYTES_PER_CELL
+    )

@@ -1,0 +1,243 @@
+"""Per-figure benchmark drivers.
+
+Each ``run_*`` function regenerates one figure/table of the paper's
+evaluation (§V) on the simulated runtime and returns the records; the
+``main`` entry point makes them runnable standalone::
+
+    python -m repro.bench.figures fig5
+    python -m repro.bench.figures fig6l fig6r fig7 --out benchmarks/results
+
+Expected shapes (paper §V; absolute numbers differ, see EXPERIMENTS.md):
+
+* fig5  — time falls steeply as F grows from very frequent LB, then
+  flattens; time dips with over-decomposition d then rises again.
+* fig6l — single node: all three comparable within one socket; beyond it
+  mpi-2d-LB < ampi < mpi-2d.
+* fig6r — multi node: mpi-2d-LB scales best and beats ampi by ~2x at the
+  top; both beat the baseline.
+* fig7  — weak scaling: ampi and mpi-2d-LB comparable, both well under the
+  baseline; ampi edges out LB at the largest scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.bench.persist import save_records
+from repro.bench.reporting import ascii_loglog, format_series, format_table, speedup_table
+from repro.bench.runner import RunRecord, run_implementation, serial_model_time
+from repro.bench.sweep import SweepPoint, grid_points, run_sweep
+from repro.bench.workloads import (
+    FIG5_CORES,
+    FIG5_D_VALUES,
+    FIG5_F_VALUES,
+    FIG5_FIXED_D,
+    FIG5_FIXED_F,
+    FIG6_MULTI_NODE_CORES,
+    FIG6_SINGLE_NODE_CORES,
+    FIG7_CORES,
+    FIG7_CORES_FULL,
+    fig5_workload,
+    fig6_workload,
+    fig7_workload,
+)
+
+Progress = Callable[[str], None]
+
+
+def _echo(msg: str) -> None:
+    print(msg, flush=True)
+
+
+# ----------------------------------------------------------------------
+# Figure 5: AMPI parameter tuning
+# ----------------------------------------------------------------------
+def run_fig5(progress: Progress = _echo) -> list[RunRecord]:
+    """F sweep at fixed d, then d sweep at fixed F (paper Fig. 5)."""
+    w = fig5_workload()
+    points: list[SweepPoint] = []
+    for f_value in FIG5_F_VALUES:
+        points.append(
+            SweepPoint(
+                impl="ampi",
+                cores=FIG5_CORES,
+                impl_kwargs=dict(
+                    overdecomposition=FIG5_FIXED_D,
+                    lb_interval=f_value,
+                    **w.ampi_params,
+                ),
+                label={"sweep": "F", "F": f_value, "d": FIG5_FIXED_D},
+            )
+        )
+    for d_value in FIG5_D_VALUES:
+        points.append(
+            SweepPoint(
+                impl="ampi",
+                cores=FIG5_CORES,
+                impl_kwargs=dict(
+                    overdecomposition=d_value,
+                    lb_interval=FIG5_FIXED_F,
+                    **w.ampi_params,
+                ),
+                label={"sweep": "d", "F": FIG5_FIXED_F, "d": d_value},
+            )
+        )
+    return run_sweep("fig5", w, points, progress=progress)
+
+
+def report_fig5(records: list[RunRecord]) -> str:
+    f_recs = [r for r in records if r.params.get("sweep") == "F"]
+    d_recs = [r for r in records if r.params.get("sweep") == "d"]
+    parts = [
+        "Figure 5 — AMPI tuning (interval F between LB invocations; "
+        "over-decomposition degree d)",
+        "",
+        format_table(f_recs, extra_cols=("F", "d")),
+        "",
+        format_table(d_recs, extra_cols=("F", "d")),
+        "",
+        ascii_loglog(
+            {"vary-F": [(r.params["F"], r.sim_time) for r in f_recs]},
+            title="fig5a: time vs LB interval F",
+            x_label="F",
+        ),
+        "",
+        ascii_loglog(
+            {"vary-d": [(r.params["d"], r.sim_time) for r in d_recs]},
+            title="fig5b: time vs over-decomposition d",
+            x_label="d",
+        ),
+    ]
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Figure 6: strong scaling
+# ----------------------------------------------------------------------
+def _run_fig6(cores_list: Sequence[int], figure: str, progress: Progress) -> list[RunRecord]:
+    w = fig6_workload()
+    records: list[RunRecord] = []
+    for cores in cores_list:
+        for impl, kwargs in (
+            ("mpi-2d", {}),
+            ("mpi-2d-LB", w.lb_params),
+            ("ampi", w.ampi_params),
+        ):
+            spec = w.spec_for(cores)
+            rec = run_implementation(
+                figure, impl, spec, cores, w.machine, w.cost, **kwargs
+            )
+            records.append(rec)
+            progress(
+                f"{figure}: {impl} cores={cores} -> {rec.sim_time:.4f}s "
+                f"(wall {rec.wall_time:.1f}s)"
+            )
+    return records
+
+
+def run_fig6_single_node(progress: Progress = _echo) -> list[RunRecord]:
+    return _run_fig6(FIG6_SINGLE_NODE_CORES, "fig6l", progress)
+
+
+def run_fig6_multi_node(progress: Progress = _echo) -> list[RunRecord]:
+    return _run_fig6(FIG6_MULTI_NODE_CORES, "fig6r", progress)
+
+
+def report_fig6(records: list[RunRecord], which: str) -> str:
+    w = fig6_workload()
+    serial = serial_model_time(w.spec_for(0), w.cost)
+    parts = [
+        f"Figure 6 ({which}) — strong scaling, geometric distribution",
+        f"(serial model time: {serial:.3f}s)",
+        "",
+        format_table(records),
+        "",
+        ascii_loglog(format_series(records), title=f"fig6 {which}: time vs cores"),
+        "",
+        speedup_table(records, serial),
+    ]
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Figure 7: weak scaling
+# ----------------------------------------------------------------------
+def weak_scaling_cores() -> Sequence[int]:
+    """Honour REPRO_FULL=1 to include the paper's 3072-core point."""
+    return FIG7_CORES_FULL if os.environ.get("REPRO_FULL") == "1" else FIG7_CORES
+
+
+def run_fig7(progress: Progress = _echo, cores_list: Sequence[int] | None = None) -> list[RunRecord]:
+    w = fig7_workload()
+    records: list[RunRecord] = []
+    for cores in cores_list or weak_scaling_cores():
+        for impl, kwargs in (
+            ("mpi-2d", {}),
+            ("mpi-2d-LB", w.lb_params),
+            ("ampi", w.ampi_params),
+        ):
+            spec = w.spec_for(cores)
+            rec = run_implementation(
+                "fig7", impl, spec, cores, w.machine, w.cost, **kwargs
+            )
+            rec.params["particles"] = spec.n_particles
+            records.append(rec)
+            progress(
+                f"fig7: {impl} cores={cores} n={spec.n_particles} -> "
+                f"{rec.sim_time:.4f}s (wall {rec.wall_time:.1f}s)"
+            )
+    return records
+
+
+def report_fig7(records: list[RunRecord]) -> str:
+    parts = [
+        "Figure 7 — weak scaling (particles proportional to cores, grid fixed)",
+        "",
+        format_table(records, extra_cols=("particles",)),
+        "",
+        ascii_loglog(format_series(records), title="fig7: time vs cores"),
+    ]
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Standalone entry point
+# ----------------------------------------------------------------------
+FIGURES = {
+    "fig5": (run_fig5, report_fig5),
+    "fig6l": (run_fig6_single_node, lambda r: report_fig6(r, "left: single node")),
+    "fig6r": (run_fig6_multi_node, lambda r: report_fig6(r, "right: multi node")),
+    "fig7": (run_fig7, report_fig7),
+}
+
+
+def write_report(name: str, text: str, out_dir: str | os.PathLike) -> Path:
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("figures", nargs="+", choices=sorted(FIGURES))
+    parser.add_argument("--out", default="benchmarks/results", help="report directory")
+    args = parser.parse_args(argv)
+    for name in args.figures:
+        run, report = FIGURES[name]
+        records = run()
+        text = report(records)
+        print(text)
+        path = write_report(name, text, args.out)
+        json_path = save_records(records, Path(args.out) / f"{name}.json")
+        print(f"[written to {path} and {json_path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Paper-style result tables and ASCII log-log charts.
+
+The harness cannot draw the paper's gnuplot figures, so each figure is
+rendered as (a) a table of the series the plot encodes and (b) a compact
+ASCII log-log chart good enough to eyeball crossovers.  Both are written to
+``benchmarks/results/`` and echoed to stdout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.bench.runner import RunRecord
+
+
+def format_table(records: Sequence[RunRecord], extra_cols: Sequence[str] = ()) -> str:
+    """Fixed-width table of run records, grouped as given."""
+    cols = ["impl", "cores", "sim_time_s", "verified", "max_ppc", *extra_cols]
+    rows = [r.as_row() for r in records]
+    widths = {c: max(len(c), *(len(str(row.get(c, ""))) for row in rows)) for c in cols}
+    header = "  ".join(c.ljust(widths[c]) for c in cols)
+    sep = "-" * len(header)
+    lines = [header, sep]
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in cols))
+    return "\n".join(lines)
+
+
+def format_series(
+    records: Sequence[RunRecord],
+    x_key: str = "cores",
+) -> dict[str, list[tuple[float, float]]]:
+    """Group records into per-implementation (x, sim_time) series."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for r in records:
+        x = r.params.get(x_key, getattr(r, x_key, None)) if x_key != "cores" else r.cores
+        series.setdefault(r.implementation, []).append((float(x), r.sim_time))
+    for pts in series.values():
+        pts.sort()
+    return series
+
+
+def ascii_loglog(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "cores",
+    y_label: str = "seconds",
+) -> str:
+    """Render series on a log-log grid with one marker letter per series."""
+    points = [(x, y) for pts in series.values() for x, y in pts if x > 0 and y > 0]
+    if not points:
+        return "(no data)"
+    lx = [math.log10(x) for x, _ in points]
+    ly = [math.log10(y) for _, y in points]
+    x0, x1 = min(lx), max(lx)
+    y0, y1 = min(ly), max(ly)
+    x1 = x1 if x1 > x0 else x0 + 1.0
+    y1 = y1 if y1 > y0 else y0 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    for idx, (name, pts) in enumerate(sorted(series.items())):
+        mark = chr(ord("A") + idx)
+        markers[name] = mark
+        for x, y in pts:
+            cx = int((math.log10(x) - x0) / (x1 - x0) * (width - 1))
+            cy = int((math.log10(y) - y0) / (y1 - y0) * (height - 1))
+            row = height - 1 - cy
+            cell = grid[row][cx]
+            grid[row][cx] = "*" if cell not in (" ", mark) else mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = 10 ** y1
+    bottom = 10 ** y0
+    lines.append(f"{top:10.3g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{bottom:10.3g} +" + "-" * width + "+")
+    lines.append(
+        " " * 12 + f"{10 ** x0:<10.3g}{x_label:^{max(0, width - 20)}}{10 ** x1:>10.3g}"
+    )
+    legend = "  ".join(f"{m}={n}" for n, m in sorted(markers.items(), key=lambda kv: kv[1]))
+    lines.append(" " * 12 + legend + f"   (y: {y_label}, log-log)")
+    return "\n".join(lines)
+
+
+def speedup_table(
+    records: Sequence[RunRecord], serial_time: float
+) -> str:
+    """Speedup-over-serial table (the §V-B summary numbers)."""
+    lines = ["impl        cores  speedup"]
+    for r in sorted(records, key=lambda r: (r.implementation, r.cores)):
+        lines.append(
+            f"{r.implementation:<11} {r.cores:>5}  {serial_time / r.sim_time:7.1f}x"
+        )
+    return "\n".join(lines)

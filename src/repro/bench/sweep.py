@@ -1,0 +1,67 @@
+"""Generic parameter sweeps for the ablation benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.bench.runner import RunRecord, run_implementation
+from repro.bench.workloads import Workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: implementation kwargs plus display params."""
+
+    impl: str
+    cores: int
+    impl_kwargs: dict[str, Any]
+    label: dict[str, Any]
+
+
+def run_sweep(
+    figure: str,
+    workload: Workload,
+    points: Iterable[SweepPoint],
+    *,
+    progress: Callable[[str], None] | None = None,
+) -> list[RunRecord]:
+    """Run every sweep point; verification failures abort loudly."""
+    records: list[RunRecord] = []
+    for pt in points:
+        spec = workload.spec_for(pt.cores)
+        rec = run_implementation(
+            figure,
+            pt.impl,
+            spec,
+            pt.cores,
+            workload.machine,
+            workload.cost,
+            **pt.impl_kwargs,
+        )
+        rec.params.update(pt.label)
+        records.append(rec)
+        if progress is not None:
+            progress(
+                f"{figure}: {pt.impl} cores={pt.cores} {pt.label} "
+                f"-> {rec.sim_time:.4f}s (wall {rec.wall_time:.1f}s)"
+            )
+    return records
+
+
+def grid_points(
+    impl: str,
+    cores: int,
+    base_kwargs: dict[str, Any],
+    vary: str,
+    values: Sequence[Any],
+) -> list[SweepPoint]:
+    """Sweep one keyword argument over a list of values."""
+    points = []
+    for v in values:
+        kwargs = dict(base_kwargs)
+        kwargs[vary] = v
+        points.append(
+            SweepPoint(impl=impl, cores=cores, impl_kwargs=kwargs, label={vary: v})
+        )
+    return points

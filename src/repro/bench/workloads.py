@@ -1,0 +1,221 @@
+"""Experiment configurations for the paper's figures (§V).
+
+Every figure has two parameter sets:
+
+* the **paper** parameters, kept verbatim for the record, and
+* the **scaled** preset the harness actually runs.
+
+Scaling rule (see DESIGN.md §2 and EXPERIMENTS.md): the per-core,
+per-step *simulated compute time* is kept equal to the paper's by scaling
+the particle-push rate up by the same factor the particle count is scaled
+down — so the compute/communication balance, and therefore the crossover
+structure of the figures, is preserved while the pure-Python harness stays
+fast.  The geometric skew is rescaled to keep ``r ** cells`` constant, which
+preserves the *shape* of the particle cloud relative to the domain.
+
+Paper workloads:
+
+========  =========  ==========  ======  ======  ========================
+figure    cells      particles   steps   cores   distribution
+========  =========  ==========  ======  ======  ========================
+Fig. 5    5998^2     6,400,000   6,000   192     geometric r=0.999, k=0
+Fig. 6    2998^2       600,000   6,000   1-384   geometric r=0.999, k=0
+Fig. 7    11998^2      400,000+  6,000   48-3072 geometric, weak scaling
+========  =========  ==========  ======  ======  ========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.constants import DEFAULT_DT, DEFAULT_H
+from repro.ampi.loadbalancer import GreedyLB, GreedyTransferLB
+from repro.core.spec import PICSpec
+from repro.runtime.costmodel import CostModel
+from repro.runtime.machine import MachineModel
+
+#: The push rate the cost model is calibrated to at the paper's full scale
+#: (see repro.runtime.costmodel).
+PAPER_PUSH_S = 1.4e-7
+
+
+def rescale_r(r_paper: float, cells_paper: int, cells_scaled: int) -> float:
+    """Keep ``r ** cells`` constant: the cloud shape relative to the domain."""
+    return r_paper ** (cells_paper / cells_scaled)
+
+
+def scaled_cost(
+    machine: MachineModel, particle_scale: float, cell_scale: float = 1.0
+) -> CostModel:
+    """Cost model compensating a scaled-down workload.
+
+    ``particle_scale`` is the factor the particle count was reduced by;
+    ``cell_scale`` the factor the mesh *cell count* was reduced by.  The
+    per-particle CPU rates (push, pack) and the byte volumes of particle
+    messages and subgrid migrations are scaled back up by the matching
+    factors, so per-core compute time, particle-communication cost and
+    migration cost all match the paper-scale workload — which is what makes
+    the figures' crossovers reproducible at laptop scale.
+    """
+    base = CostModel()
+    return CostModel(
+        machine=machine,
+        particle_push_s=PAPER_PUSH_S * particle_scale,
+        particle_pack_s=base.particle_pack_s * particle_scale,
+        particle_byte_scale=particle_scale,
+        cell_byte_scale=cell_scale,
+    )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One figure's runnable configuration."""
+
+    name: str
+    description: str
+    machine: MachineModel
+    cost: CostModel
+    spec_for: Callable[[int], PICSpec]
+    #: Paper parameters, for the EXPERIMENTS.md record.
+    paper: dict = field(default_factory=dict)
+    #: Tuned implementation parameters (the paper tuned per point; we use
+    #: one well-tuned set per figure).
+    lb_params: dict = field(default_factory=dict)
+    ampi_params: dict = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Figure 5: AMPI tuning (F and d sweeps) at fixed core count
+# ----------------------------------------------------------------------
+FIG5_CELLS = 480
+FIG5_PARTICLES = 24_000
+FIG5_STEPS = 240
+FIG5_CORES = 48
+#: Particle-count scale: paper has 6.4 M over 192 cores = 33,333/core;
+#: scaled runs 24,000 over 48 cores = 500/core.
+FIG5_SCALE = (6_400_000 / 192) / (FIG5_PARTICLES / FIG5_CORES)
+#: LB-interval sweep, geometric like the paper's 20 * 2**i over 6000 steps.
+FIG5_F_VALUES = (2, 4, 8, 16, 32, 64, 128)
+#: Over-decomposition sweep (paper: 1 to 64 at 192 cores).
+FIG5_D_VALUES = (1, 2, 4, 8, 16, 32)
+FIG5_CELL_SCALE = (5998 / FIG5_CELLS) ** 2
+FIG5_FIXED_D = 4      # d while sweeping F (paper: 4)
+FIG5_FIXED_F = 40     # F while sweeping d (paper: 1000 of 6000 steps)
+
+
+def fig5_workload() -> Workload:
+    machine = MachineModel()
+    r = rescale_r(0.999, 5998, FIG5_CELLS)
+
+    def spec_for(cores: int) -> PICSpec:
+        del cores  # fixed-size experiment
+        return PICSpec(
+            cells=FIG5_CELLS,
+            n_particles=FIG5_PARTICLES,
+            steps=FIG5_STEPS,
+            r=r,
+            h=DEFAULT_H,
+            dt=DEFAULT_DT,
+        )
+
+    return Workload(
+        name="fig5",
+        description="AMPI tuning: LB interval F and over-decomposition d",
+        machine=machine,
+        cost=scaled_cost(machine, FIG5_SCALE, FIG5_CELL_SCALE),
+        spec_for=spec_for,
+        paper=dict(
+            cells=5998, particles=6_400_000, steps=6000, cores=192,
+            r=0.999, k=0, F_values="20*2**i", d_values="1..64",
+        ),
+        ampi_params=dict(strategy=GreedyLB()),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: strong scaling (single node 1-24, multi node 24-384)
+# ----------------------------------------------------------------------
+FIG6_CELLS = 288
+FIG6_PARTICLES = 24_000
+FIG6_STEPS = 200
+FIG6_SCALE = (600_000 / 24) / (FIG6_PARTICLES / 24)  # per-core match at 24 cores
+FIG6_CELL_SCALE = (2998 / FIG6_CELLS) ** 2
+FIG6_SINGLE_NODE_CORES = (1, 4, 8, 12, 16, 20, 24)
+FIG6_MULTI_NODE_CORES = (24, 48, 96, 192, 384)
+
+
+def fig6_workload() -> Workload:
+    machine = MachineModel()
+    r = rescale_r(0.999, 2998, FIG6_CELLS)
+
+    def spec_for(cores: int) -> PICSpec:
+        del cores  # strong scaling: fixed problem
+        return PICSpec(
+            cells=FIG6_CELLS,
+            n_particles=FIG6_PARTICLES,
+            steps=FIG6_STEPS,
+            r=r,
+        )
+
+    return Workload(
+        name="fig6",
+        description="strong scaling of mpi-2d / mpi-2d-LB / ampi",
+        machine=machine,
+        cost=scaled_cost(machine, FIG6_SCALE, FIG6_CELL_SCALE),
+        spec_for=spec_for,
+        paper=dict(
+            cells=2998, particles=600_000, steps=6000,
+            cores="1..384", r=0.999, k=0,
+        ),
+        lb_params=dict(lb_interval=1, border_width=4, threshold_fraction=0.02),
+        ampi_params=dict(overdecomposition=8, lb_interval=25, strategy=GreedyLB()),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7: weak scaling (particles grow with cores, grid fixed)
+# ----------------------------------------------------------------------
+FIG7_CELLS = 960
+FIG7_PARTICLES_PER_CORE = 300
+FIG7_STEPS = 100
+#: Paper: 400,000 particles at 48 cores = 8,333/core.
+FIG7_SCALE = (400_000 / 48) / FIG7_PARTICLES_PER_CORE
+FIG7_CELL_SCALE = (11998 / FIG7_CELLS) ** 2
+FIG7_CORES = (48, 192, 768)
+#: The paper's largest point; include via REPRO_FULL=1 (slow in pure Python).
+FIG7_CORES_FULL = (48, 192, 768, 3072)
+
+
+def fig7_workload() -> Workload:
+    machine = MachineModel()
+    r = rescale_r(0.999, 11998, FIG7_CELLS)
+
+    def spec_for(cores: int) -> PICSpec:
+        return PICSpec(
+            cells=FIG7_CELLS,
+            n_particles=FIG7_PARTICLES_PER_CORE * cores,
+            steps=FIG7_STEPS,
+            r=r,
+        )
+
+    return Workload(
+        name="fig7",
+        description="weak scaling of mpi-2d / mpi-2d-LB / ampi",
+        machine=machine,
+        cost=scaled_cost(machine, FIG7_SCALE, FIG7_CELL_SCALE),
+        spec_for=spec_for,
+        paper=dict(
+            cells=11998, particles="400,000 at 48 cores, proportional",
+            steps=6000, cores="48..3072", r=0.999, k=0,
+        ),
+        lb_params=dict(lb_interval=1, border_width=4, threshold_fraction=0.02),
+        # Weak scaling favours frequent, incremental balancing: the transfer
+        # variant implements the paper's "most loaded to least loaded"
+        # migration without GreedyLB's full-reassignment churn, whose
+        # per-invocation cost the compressed step count of the scaled preset
+        # would over-weight (see EXPERIMENTS.md deviations).
+        ampi_params=dict(
+            overdecomposition=8, lb_interval=10, strategy=GreedyTransferLB()
+        ),
+    )

@@ -1,0 +1,177 @@
+"""Command-line interface for the PIC PRK.
+
+Subcommands::
+
+    pic-prk serial  --cells 128 --particles 20000 --steps 100 --dist geometric --r 0.97
+    pic-prk run     --impl mpi-2d-LB --cores 24 --cells 288 --particles 24000 --steps 150
+    pic-prk trace   --impl ampi --cores 16 --steps 160            # imbalance timeline
+    pic-prk figures fig5 fig6l fig6r fig7                         # regenerate figures
+
+(Equivalently: ``python -m repro.cli ...``.)  All runs end with the PRK's
+exact self-verification; a failing run exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.simulation import run_serial
+from repro.core.spec import Distribution, PICSpec, Region
+from repro.instrument import TraceCollector, render_imbalance_timeline
+from repro.parallel import AmpiPIC, Mpi2dLbPIC, Mpi2dPIC
+from repro.runtime.costmodel import CostModel
+from repro.runtime.machine import MachineModel
+
+
+def _add_spec_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cells", type=int, default=128, help="mesh cells per side (even)")
+    p.add_argument("--particles", type=int, default=20_000)
+    p.add_argument("--steps", type=int, default=100)
+    p.add_argument(
+        "--dist",
+        choices=[d.value for d in Distribution],
+        default=Distribution.GEOMETRIC.value,
+    )
+    p.add_argument("--r", type=float, default=0.97, help="geometric ratio")
+    p.add_argument("--alpha", type=float, default=1.0)
+    p.add_argument("--beta", type=float, default=3.0)
+    p.add_argument(
+        "--patch", type=int, nargs=4, metavar=("XLO", "XHI", "YLO", "YHI"),
+        help="patch region in cells (for --dist patch)",
+    )
+    p.add_argument("--k", type=int, default=0, help="drift multiplier: 2k+1 cells/step")
+    p.add_argument("--m", type=int, default=0, help="vertical cells per step")
+    p.add_argument("--rotate90", action="store_true")
+    p.add_argument("--seed", type=int, default=42)
+
+
+def _spec_from(args: argparse.Namespace) -> PICSpec:
+    return PICSpec(
+        cells=args.cells,
+        n_particles=args.particles,
+        steps=args.steps,
+        distribution=Distribution(args.dist),
+        r=args.r,
+        alpha=args.alpha,
+        beta=args.beta,
+        patch=Region(*args.patch) if args.patch else None,
+        k=args.k,
+        m_vertical=args.m,
+        rotate90=args.rotate90,
+        seed=args.seed,
+    )
+
+
+def _add_parallel_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--impl", choices=["mpi-2d", "mpi-2d-LB", "ampi"], default="mpi-2d")
+    p.add_argument("--cores", type=int, default=24)
+    p.add_argument("--push-ns", type=float, default=3500.0,
+                   help="modelled particle push time in nanoseconds")
+    p.add_argument("--lb-interval", type=int, default=2)
+    p.add_argument("--border-width", type=int, default=3)
+    p.add_argument("--threshold", type=float, default=0.02)
+    p.add_argument("--axes", choices=["x", "y", "xy"], default="x")
+    p.add_argument("--overdecomposition", "-d", type=int, default=8)
+    p.add_argument("--ampi-interval", type=int, default=25)
+
+
+def _build_impl(args: argparse.Namespace, tracer=None):
+    machine = MachineModel()
+    cost = CostModel(machine=machine, particle_push_s=args.push_ns * 1e-9)
+    spec = _spec_from(args)
+    common = dict(machine=machine, cost=cost, tracer=tracer)
+    if args.impl == "mpi-2d":
+        return Mpi2dPIC(spec, args.cores, **common)
+    if args.impl == "mpi-2d-LB":
+        return Mpi2dLbPIC(
+            spec, args.cores,
+            lb_interval=args.lb_interval,
+            border_width=args.border_width,
+            threshold_fraction=args.threshold,
+            axes=args.axes,
+            **common,
+        )
+    return AmpiPIC(
+        spec, args.cores,
+        overdecomposition=args.overdecomposition,
+        lb_interval=args.ampi_interval,
+        **common,
+    )
+
+
+def cmd_serial(args: argparse.Namespace) -> int:
+    result = run_serial(_spec_from(args))
+    print(f"spec: {_spec_from(args).describe()}")
+    print(result.verification)
+    print(f"particle pushes: {result.particle_pushes:,}")
+    return 0 if result.verification.ok else 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    impl = _build_impl(args)
+    result = impl.run()
+    print(f"spec: {impl.spec.describe()}")
+    print(
+        f"{result.implementation} on {result.n_cores} simulated cores: "
+        f"{result.total_time:.4f}s simulated"
+    )
+    print(
+        f"max particles/core {result.max_particles_per_core} "
+        f"(ideal {result.ideal_particles_per_core:.0f}), "
+        f"messages {result.messages_sent}, bytes {result.bytes_sent}"
+    )
+    print(result.verification)
+    return 0 if result.verification.ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    tracer = TraceCollector()
+    impl = _build_impl(args, tracer=tracer)
+    result = impl.run()
+    print(render_imbalance_timeline(tracer))
+    print(result.verification)
+    return 0 if result.verification.ok else 1
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.bench.figures import main as figures_main
+
+    return figures_main([*args.names, "--out", args.out])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pic-prk", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serial", help="run and verify the serial kernel")
+    _add_spec_args(p)
+    p.set_defaults(fn=cmd_serial)
+
+    p = sub.add_parser("run", help="run one parallel implementation")
+    _add_spec_args(p)
+    _add_parallel_args(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("trace", help="run with the imbalance tracer")
+    _add_spec_args(p)
+    _add_parallel_args(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    p.add_argument("names", nargs="+", choices=["fig5", "fig6l", "fig6r", "fig7"])
+    p.add_argument("--out", default="benchmarks/results")
+    p.set_defaults(fn=cmd_figures)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Statistical diagnostics — and why the PRK does not rely on them.
+
+The paper (§III-C) observes that "statistical methods typically used for
+the verification of PIC codes are not rigorous enough for the PRK".  This
+module implements those typical methods — population moments, kinetic
+energy, spatial histograms — both as genuinely useful run diagnostics and
+as the foil for a test demonstrating the paper's point: a single-particle
+error that the exact §III-D verification flags immediately can leave every
+statistical indicator within its noise tolerance
+(``tests/core/test_diagnostics.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mesh import Mesh
+from repro.core.particles import ParticleArray
+
+
+@dataclass(frozen=True)
+class PopulationStats:
+    """Aggregate statistics of a particle population."""
+
+    count: int
+    mean_x: float
+    mean_y: float
+    var_x: float
+    var_y: float
+    kinetic_energy: float
+    total_charge: float
+
+    def close_to(self, other: "PopulationStats", rtol: float = 1e-3) -> bool:
+        """Whether two snapshots agree within a statistical tolerance.
+
+        ``rtol`` mirrors the loose thresholds statistical PIC verifications
+        use — they must absorb discretization noise, so they cannot be
+        tight.
+        """
+        if self.count != other.count:
+            return False
+
+        def ok(a: float, b: float) -> bool:
+            scale = max(abs(a), abs(b), 1e-12)
+            return abs(a - b) / scale <= rtol
+
+        return all(
+            ok(getattr(self, f), getattr(other, f))
+            for f in ("mean_x", "mean_y", "var_x", "var_y", "kinetic_energy", "total_charge")
+        )
+
+
+def population_stats(particles: ParticleArray) -> PopulationStats:
+    """Compute the classic statistical-verification quantities."""
+    n = len(particles)
+    if n == 0:
+        return PopulationStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ke = 0.5 * float(np.sum(particles.vx**2 + particles.vy**2))
+    return PopulationStats(
+        count=n,
+        mean_x=float(particles.x.mean()),
+        mean_y=float(particles.y.mean()),
+        var_x=float(particles.x.var()),
+        var_y=float(particles.y.var()),
+        kinetic_energy=ke,
+        total_charge=float(particles.q.sum()),
+    )
+
+
+def column_histogram(mesh: Mesh, particles: ParticleArray) -> np.ndarray:
+    """Particles per cell column — the spatial load profile."""
+    if len(particles) == 0:
+        return np.zeros(mesh.cells, dtype=np.int64)
+    return np.bincount(particles.cell_columns(mesh), minlength=mesh.cells)
+
+
+def histogram_l1_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Normalized L1 distance between two load profiles (0 = identical)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("histograms must have equal shape")
+    total = max(a.sum(), b.sum(), 1.0)
+    return float(np.abs(a - b).sum() / total)
+
+
+def imbalance_over_columns(mesh: Mesh, particles: ParticleArray) -> float:
+    """Max-over-mean of the per-column load (1.0 = perfectly flat)."""
+    hist = column_histogram(mesh, particles).astype(np.float64)
+    mean = hist.mean()
+    if mean == 0:
+        return 1.0
+    return float(hist.max() / mean)

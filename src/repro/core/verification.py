@@ -1,0 +1,164 @@
+"""Self-verification of the PIC PRK (paper §III-D).
+
+Thanks to the constrained initialization (§III-C), every particle's final
+position has a closed form:
+
+    x_s = (x_0 + sign(a_x0) * (2k+1) * s * h)  mod L        (Eq. 5)
+    y_s = (y_0 + m * h * s)                    mod L        (Eq. 6)
+
+with ``s`` the number of time steps the particle participated in.  The charge
+assignment of :func:`repro.core.particles.assign_charges` makes every
+particle drift in the +x direction, and each particle stores its signed
+per-step displacement ``kdisp`` (= ``sign * (2k+1)``) and ``mdisp`` (= ``m``)
+explicitly, so the check is O(1) per particle and trivially parallel.
+
+A second, integer-exact test guards against lost or duplicated particles:
+the checksum of the unique particle ids must equal the analytically known
+total (``n (n+1) / 2`` when no injection/removal happened, otherwise adjusted
+by the event bookkeeping).  A single particle mis-communicated in a single
+step fails the position test; a particle dropped during an exchange or
+migration fails the checksum test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import VERIFICATION_EPSILON
+from repro.core.mesh import Mesh
+from repro.core.particles import ParticleArray
+from repro.core.spec import InjectionEvent, PICSpec, RemovalEvent
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of the §III-D verification."""
+
+    positions_ok: bool
+    checksum_ok: bool
+    max_abs_error: float
+    n_particles: int
+    id_checksum: int
+    expected_checksum: int
+
+    @property
+    def ok(self) -> bool:
+        return self.positions_ok and self.checksum_ok
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.ok else "FAIL"
+        return (
+            f"verification {status}: n={self.n_particles}, "
+            f"max|err|={self.max_abs_error:.3e}, "
+            f"checksum={self.id_checksum} (expected {self.expected_checksum})"
+        )
+
+
+def expected_final_positions(
+    mesh: Mesh, particles: ParticleArray, total_steps: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form final coordinates (Eqs. 5-6) for every particle.
+
+    Each particle participated in ``total_steps - birth`` pushes.
+    """
+    s = (total_steps - particles.birth).astype(np.float64)
+    if np.any(s < 0):
+        raise ValueError("particle birth step exceeds total_steps")
+    xs = np.mod(particles.x0 + particles.kdisp * s * mesh.h, mesh.L)
+    ys = np.mod(particles.y0 + particles.mdisp * s * mesh.h, mesh.L)
+    return xs, ys
+
+
+def position_errors(
+    mesh: Mesh, particles: ParticleArray, total_steps: int
+) -> np.ndarray:
+    """Periodic-aware absolute error of each particle vs the closed form."""
+    xs, ys = expected_final_positions(mesh, particles, total_steps)
+    ex = np.abs(particles.x - xs)
+    ey = np.abs(particles.y - ys)
+    # A particle sitting at coordinate ~0 may legitimately be reported at ~L.
+    ex = np.minimum(ex, mesh.L - ex)
+    ey = np.minimum(ey, mesh.L - ey)
+    return np.maximum(ex, ey)
+
+
+def initial_checksum(n_particles: int) -> int:
+    """Checksum of ids ``1..n``: ``n (n+1) / 2``."""
+    return n_particles * (n_particles + 1) // 2
+
+
+def expected_checksum(spec: PICSpec, removed_ids_sum: int = 0) -> int:
+    """Analytic id checksum after all of the spec's injections.
+
+    Injection ids are contiguous blocks (see :mod:`repro.core.events`), so
+    their contribution is closed-form.  Removals depend on which particles
+    happened to sit in the removal region, so callers must supply the summed
+    ids of removed particles (each driver accumulates this while applying
+    events; parallel drivers reduce it globally).
+    """
+    total = initial_checksum(spec.n_particles)
+    next_id = spec.n_particles + 1
+    for ev in spec.events:
+        if isinstance(ev, InjectionEvent):
+            first, last = next_id, next_id + ev.count - 1
+            total += (first + last) * ev.count // 2
+            next_id += ev.count
+        else:
+            assert isinstance(ev, RemovalEvent)
+    return total - removed_ids_sum
+
+
+def verify(
+    mesh: Mesh,
+    particles: ParticleArray,
+    total_steps: int,
+    expected_ids: int,
+    epsilon: float = VERIFICATION_EPSILON,
+) -> VerificationResult:
+    """Run the full §III-D verification on a (gathered) particle set."""
+    if len(particles) == 0:
+        max_err = 0.0
+        positions_ok = True
+    else:
+        errors = position_errors(mesh, particles, total_steps)
+        max_err = float(errors.max())
+        positions_ok = bool(max_err <= epsilon)
+    checksum = particles.id_checksum()
+    return VerificationResult(
+        positions_ok=positions_ok,
+        checksum_ok=(checksum == expected_ids),
+        max_abs_error=max_err,
+        n_particles=len(particles),
+        id_checksum=checksum,
+        expected_checksum=expected_ids,
+    )
+
+
+def verify_distributed(
+    mesh: Mesh,
+    local_particles: ParticleArray,
+    total_steps: int,
+    expected_ids: int,
+    *,
+    global_max_error: float,
+    global_count: int,
+    global_id_sum: int,
+    epsilon: float = VERIFICATION_EPSILON,
+) -> VerificationResult:
+    """Assemble a verification result from already-reduced global statistics.
+
+    Parallel drivers compute the local maximum position error and local id
+    sum, reduce them (MAX / SUM), and call this on every rank; the arguments
+    besides ``local_particles`` are the *reduced* values.
+    """
+    del local_particles  # locals already folded into the reductions
+    return VerificationResult(
+        positions_ok=bool(global_max_error <= epsilon),
+        checksum_ok=(global_id_sum == expected_ids),
+        max_abs_error=float(global_max_error),
+        n_particles=int(global_count),
+        id_checksum=int(global_id_sum),
+        expected_checksum=int(expected_ids),
+    )

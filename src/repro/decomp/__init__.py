@@ -1,0 +1,6 @@
+"""Domain decomposition substrate: processor grids and block partitions."""
+
+from repro.decomp.grid import factor_2d
+from repro.decomp.partition import BlockPartition
+
+__all__ = ["factor_2d", "BlockPartition"]

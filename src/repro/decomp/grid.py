@@ -1,0 +1,32 @@
+"""Processor-grid factorization (paper §IV-A).
+
+The MPI implementations arrange ``P`` processors in a ``Px x Py`` grid that
+is "as close to square as possible to minimize the communication volume".
+:func:`factor_2d` produces that factorization deterministically, with
+``Px >= Py`` so that the x direction — the direction the §III-E1 particle
+cloud drifts in — has at least as many processor columns as rows.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def factor_2d(p: int) -> tuple[int, int]:
+    """Factor ``p`` into ``(Px, Py)`` with ``Px * Py == p``, near-square,
+    ``Px >= Py``.
+
+    Prime ``p`` degenerates to ``(p, 1)`` — a 1D column decomposition, which
+    is exactly the paper's Fig. 3 setting.
+    """
+    if p <= 0:
+        raise ValueError("processor count must be positive")
+    for py in range(int(math.isqrt(p)), 0, -1):
+        if p % py == 0:
+            return p // py, py
+    raise AssertionError("unreachable: 1 always divides p")  # pragma: no cover
+
+
+def grid_fits_mesh(cells: int, px: int, py: int) -> bool:
+    """True when every processor block can hold at least one cell column/row."""
+    return px <= cells and py <= cells

@@ -1,0 +1,24 @@
+"""Zero-perturbation instrumentation of parallel runs.
+
+Because every simulated rank executes inside one Python process, a trace
+collector can observe per-rank state each step *without* injecting any
+simulated communication — unlike a real MPI job, where gathering a load
+timeline would itself perturb the run.  The tracer records particle counts
+per rank per step (and load-balancing events), from which imbalance
+timelines and core-load matrices are derived.
+
+Usage::
+
+    from repro.instrument import TraceCollector
+    tracer = TraceCollector()
+    result = Mpi2dPIC(spec, 24, tracer=tracer).run()
+    print(render_imbalance_timeline(tracer))
+"""
+
+from repro.instrument.trace import (
+    LbEvent,
+    TraceCollector,
+    render_imbalance_timeline,
+)
+
+__all__ = ["LbEvent", "TraceCollector", "render_imbalance_timeline"]

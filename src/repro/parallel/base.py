@@ -1,0 +1,443 @@
+"""Shared machinery of the parallel PIC PRK implementations.
+
+:class:`ParallelPICBase` implements the complete SPMD life cycle of §IV-A —
+deterministic decomposition-independent initialization, the per-step
+push/exchange loop, event handling, and the final distributed verification —
+and exposes two hooks that the load-balanced variants override:
+
+* :meth:`ParallelPICBase.setup_hook` — once, after topology creation;
+* :meth:`ParallelPICBase.lb_hook` — after each step's particle exchange, may
+  return a new partition (and must then re-route particles).
+
+Particle exchange is the multi-hop x-then-y routing described in DESIGN.md:
+each iteration forwards misplaced particles one processor column/row toward
+their owner (periodic, shorter direction), then an allreduce checks global
+settlement.  For the paper's workloads (``2k+1`` smaller than any block
+width) a single iteration suffices, reproducing the baseline's
+nearest-neighbor communication structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core import events as ev
+from repro.core import kernel, verification
+from repro.core.initialization import initialize
+from repro.core.mesh import Mesh
+from repro.core.particles import ParticleArray
+from repro.core.spec import InjectionEvent, PICSpec
+from repro.decomp.grid import factor_2d, grid_fits_mesh
+from repro.decomp.partition import BlockPartition
+from repro.runtime.cart import CartComm
+from repro.runtime.comm import Comm
+from repro.runtime.costmodel import CostModel
+from repro.runtime.errors import RuntimeConfigError
+from repro.runtime.machine import MachineModel
+from repro.runtime.reduce_ops import MAX, SUM
+from repro.runtime.scheduler import Scheduler
+
+# Message tags of the particle-exchange protocol.
+TAG_X_RIGHT = 101
+TAG_X_LEFT = 102
+TAG_Y_UP = 103
+TAG_Y_DOWN = 104
+TAG_SUBGRID = 110
+
+
+@dataclass
+class RankReturn:
+    """Per-rank results returned from the SPMD program."""
+
+    final_particles: int
+    max_particles: int
+    pushes: int
+    verification: verification.VerificationResult
+
+
+@dataclass
+class ParallelResult:
+    """Aggregated outcome of one parallel PIC run."""
+
+    implementation: str
+    n_ranks: int
+    n_cores: int
+    verification: verification.VerificationResult
+    #: Simulated execution time in seconds (max over rank clocks).
+    total_time: float
+    rank_times: list[float]
+    rank_returns: list[RankReturn]
+    messages_sent: int
+    bytes_sent: int
+    collectives: int
+    #: Final particle count per physical core (AMPI sums co-located VPs).
+    particles_per_core: dict[int, int] = field(default_factory=dict)
+    #: Final rank -> core mapping (changes from the initial one only when a
+    #: VP runtime migrated ranks; used by locality analyses).
+    final_rank_to_core: list[int] = field(default_factory=list)
+
+    @property
+    def max_particles_per_core(self) -> int:
+        """The §V-B imbalance statistic."""
+        return max(self.particles_per_core.values(), default=0)
+
+    @property
+    def ideal_particles_per_core(self) -> float:
+        total = sum(self.particles_per_core.values())
+        return total / max(1, self.n_cores)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.implementation}: T={self.total_time:.4f}s on "
+            f"{self.n_cores} cores, {self.verification}"
+        )
+
+
+class ParallelPICBase:
+    """Common driver: subclasses choose topology, mapping and balancing."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        spec: PICSpec,
+        n_cores: int,
+        *,
+        machine: MachineModel | None = None,
+        cost: CostModel | None = None,
+        dims: tuple[int, int] | None = None,
+        tracer=None,
+    ):
+        if n_cores <= 0:
+            raise RuntimeConfigError("need at least one core")
+        self.spec = spec
+        self.n_cores = n_cores
+        self.machine = machine or MachineModel()
+        self.cost = cost or CostModel(machine=self.machine)
+        self.mesh = Mesh(spec.cells, spec.h, spec.q)
+        #: Optional explicit processor grid, e.g. ``(P, 1)`` for the paper's
+        #: Fig. 3 1D block-column decomposition; default is near-square.
+        self.dims_override = dims
+        #: Optional :class:`repro.instrument.TraceCollector` — observes
+        #: per-step loads without perturbing simulated time.
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Subclass surface
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        """Number of SPMD ranks (== cores for MPI, cores * d for AMPI)."""
+        return self.n_cores
+
+    def initial_rank_to_core(self) -> list[int]:
+        """Initial rank -> core pinning (identity for plain MPI)."""
+        return list(range(self.n_ranks))
+
+    def setup_hook(self, comm: Comm, cart: CartComm, state: "_RankState"):
+        """Per-rank setup after topology creation (generator; may yield)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def lb_hook(self, comm: Comm, cart: CartComm, state: "_RankState", t: int):
+        """Load-balancing hook after the step-``t`` exchange (generator)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def per_step_overhead(self) -> float:
+        """Extra per-rank seconds charged every step (AMPI VP scheduling)."""
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> ParallelResult:
+        if self.dims_override is not None:
+            dims = tuple(self.dims_override)
+            if dims[0] * dims[1] != self.n_ranks:
+                raise RuntimeConfigError(
+                    f"dims {dims} do not cover {self.n_ranks} ranks"
+                )
+        else:
+            dims = factor_2d(self.n_ranks)
+        if not grid_fits_mesh(self.spec.cells, *dims):
+            raise RuntimeConfigError(
+                f"{dims} processor grid does not fit a {self.spec.cells}^2 mesh"
+            )
+        partition0 = BlockPartition.uniform(self.spec.cells, *dims)
+        locals0 = self._initial_locals(partition0)
+        injections = self._materialize_injections()
+
+        scheduler = Scheduler(
+            self.n_ranks,
+            machine=self.machine,
+            cost=self.cost,
+            rank_to_core=self.initial_rank_to_core(),
+        )
+        programs = [
+            self._make_program(dims, partition0, locals0[r], injections)
+            for r in range(self.n_ranks)
+        ]
+        spmd = scheduler.run(programs)
+
+        returns: list[RankReturn] = spmd.returns
+        per_core: dict[int, int] = {}
+        for r, ret in enumerate(returns):
+            core = scheduler.rank_to_core[r]
+            per_core[core] = per_core.get(core, 0) + ret.final_particles
+        return ParallelResult(
+            implementation=self.name,
+            n_ranks=self.n_ranks,
+            n_cores=self.n_cores,
+            verification=returns[0].verification,
+            total_time=spmd.total_time,
+            rank_times=spmd.times,
+            rank_returns=returns,
+            messages_sent=spmd.messages_sent,
+            bytes_sent=spmd.bytes_sent,
+            collectives=spmd.collectives,
+            particles_per_core=per_core,
+            final_rank_to_core=list(scheduler.rank_to_core),
+        )
+
+    # ------------------------------------------------------------------
+    # Initialization (decomposition-independent)
+    # ------------------------------------------------------------------
+    def _initial_locals(self, partition: BlockPartition) -> list[ParticleArray]:
+        """Initialize the global population once and slice it by owner."""
+        particles = initialize(self.spec, self.mesh)
+        if len(particles) == 0:
+            return [ParticleArray.empty(0) for _ in range(self.n_ranks)]
+        owner = partition.owner_rank(
+            particles.cell_columns(self.mesh), particles.cell_rows(self.mesh)
+        )
+        order = np.argsort(owner, kind="stable")
+        sorted_owner = owner[order]
+        bounds = np.searchsorted(sorted_owner, np.arange(self.n_ranks + 1))
+        return [
+            particles.select(order[bounds[r] : bounds[r + 1]])
+            for r in range(self.n_ranks)
+        ]
+
+    def _materialize_injections(self) -> dict[int, ParticleArray]:
+        """Pre-build the shared (read-only) particle list of each injection."""
+        out: dict[int, ParticleArray] = {}
+        for idx, event in enumerate(self.spec.events):
+            if isinstance(event, InjectionEvent):
+                out[idx] = ev.materialize_injection(self.spec, self.mesh, event, idx)
+        return out
+
+    # ------------------------------------------------------------------
+    # The SPMD program
+    # ------------------------------------------------------------------
+    def _make_program(self, dims, partition0, local0, injections):
+        spec = self.spec
+        mesh = self.mesh
+        cost = self.cost
+        overhead = self.per_step_overhead()
+
+        def program(comm: Comm):
+            cart = yield comm.create_cart(dims)
+            state = _RankState(partition=partition0, particles=local0)
+            yield from self.setup_hook(comm, cart, state)
+
+            for t in range(spec.steps):
+                if ev.has_events_at(spec, t):
+                    yield from self._apply_events(comm, cart, state, t, injections)
+                n_local = len(state.particles)
+                step_cost = cost.push_time(n_local) + overhead
+                yield comm.compute(step_cost)
+                kernel.advance(mesh, state.particles, spec.dt)
+                state.pushes += n_local
+                state.particles = yield from exchange_particles(
+                    comm, cart, state.partition, mesh, state.particles, cost
+                )
+                yield from self.lb_hook(comm, cart, state, t)
+                if len(state.particles) > state.max_particles:
+                    state.max_particles = len(state.particles)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        cart.rank, t, len(state.particles), comm.core()
+                    )
+
+            return (yield from self._verify(comm, state))
+
+        return program
+
+    def _apply_events(self, comm, cart: CartComm, state: "_RankState", t, injections):
+        """Fire the step's events; injected particles filter by ownership."""
+        spec, mesh, cost = self.spec, self.mesh, self.cost
+        moved = 0
+        for idx, event in enumerate(spec.events):
+            if event.step != t:
+                continue
+            if isinstance(event, InjectionEvent):
+                newp = injections[idx]
+                owner = state.partition.owner_rank(
+                    newp.cell_columns(mesh), newp.cell_rows(mesh)
+                )
+                mine = newp.select(owner == cart.rank)
+                if len(mine):
+                    state.particles = state.particles.append(mine)
+                    moved += len(mine)
+            else:
+                mask = ev.removal_mask(event, mesh, state.particles)
+                n_gone = int(mask.sum())
+                if n_gone:
+                    state.removed_ids += int(
+                        np.sum(state.particles.pid[mask], dtype=np.int64)
+                    )
+                    state.particles = state.particles.select(~mask)
+                    moved += n_gone
+        if moved:
+            yield comm.compute(cost.pack_time(moved))
+
+    def _verify(self, comm, state: "_RankState"):
+        spec, mesh = self.spec, self.mesh
+        particles = state.particles
+        if len(particles):
+            local_err = float(
+                verification.position_errors(mesh, particles, spec.steps).max()
+            )
+        else:
+            local_err = 0.0
+        g_err = yield comm.allreduce(local_err, op=MAX)
+        g_ids = yield comm.allreduce(particles.id_checksum(), op=SUM)
+        g_count = yield comm.allreduce(len(particles), op=SUM)
+        g_removed = yield comm.allreduce(state.removed_ids, op=SUM)
+        expected = verification.expected_checksum(spec, g_removed)
+        result = verification.verify_distributed(
+            mesh,
+            particles,
+            spec.steps,
+            expected,
+            global_max_error=g_err,
+            global_count=g_count,
+            global_id_sum=g_ids,
+        )
+        return RankReturn(
+            final_particles=len(particles),
+            max_particles=state.max_particles,
+            pushes=state.pushes,
+            verification=result,
+        )
+
+
+@dataclass
+class _RankState:
+    """Mutable per-rank simulation state threaded through the hooks."""
+
+    partition: BlockPartition
+    particles: ParticleArray
+    removed_ids: int = 0
+    max_particles: int = 0
+    pushes: int = 0
+    #: Scratch slot for subclass hooks (sub-communicators, LB bookkeeping).
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.max_particles = len(self.particles)
+
+
+# ----------------------------------------------------------------------
+# Particle exchange
+# ----------------------------------------------------------------------
+def exchange_particles(
+    comm: Comm,
+    cart: CartComm,
+    partition: BlockPartition,
+    mesh: Mesh,
+    particles: ParticleArray,
+    cost: CostModel,
+):
+    """Route particles to their owning rank (generator; returns the new set).
+
+    Each iteration performs one hop of x routing (both directions) and one
+    hop of y routing, then checks global settlement with an allreduce.
+    Routing direction per particle is the shorter periodic way around.
+    """
+    my_px, my_py = cart.coords
+    px, py = cart.px, cart.py
+    while True:
+        if px > 1:
+            particles = yield from _route_axis(
+                comm, cart, particles, mesh, cost,
+                owner_of=partition.x_owner,
+                coord_of=lambda p: p.cell_columns(mesh),
+                my_index=my_px, n_index=px, axis=0,
+                tag_fwd=TAG_X_RIGHT, tag_bwd=TAG_X_LEFT,
+            )
+        if py > 1:
+            particles = yield from _route_axis(
+                comm, cart, particles, mesh, cost,
+                owner_of=partition.y_owner,
+                coord_of=lambda p: p.cell_rows(mesh),
+                my_index=my_py, n_index=py, axis=1,
+                tag_fwd=TAG_Y_UP, tag_bwd=TAG_Y_DOWN,
+            )
+        misplaced = _count_misplaced(cart, partition, mesh, particles)
+        total = yield comm.allreduce(misplaced, op=SUM)
+        if total == 0:
+            return particles
+
+
+def _count_misplaced(cart, partition, mesh, particles) -> int:
+    if len(particles) == 0:
+        return 0
+    owner = partition.owner_rank(
+        particles.cell_columns(mesh), particles.cell_rows(mesh)
+    )
+    return int(np.count_nonzero(owner != cart.rank))
+
+
+#: Shared zero-particle wire buffer (read-only by convention).
+_EMPTY_BUF = np.empty((0, 11), dtype=np.float64)
+
+
+def _route_axis(
+    comm, cart, particles, mesh, cost,
+    *, owner_of, coord_of, my_index, n_index, axis, tag_fwd, tag_bwd,
+):
+    """One forwarding hop along one axis (generator; returns particle set)."""
+    n_fwd = n_bwd = 0
+    if len(particles):
+        owner = owner_of(coord_of(particles))
+        dist = (owner - my_index) % n_index
+        go_fwd = (dist > 0) & (dist <= n_index // 2)
+        go_bwd = dist > n_index // 2
+        n_fwd = int(np.count_nonzero(go_fwd))
+        n_bwd = int(np.count_nonzero(go_bwd))
+
+    fwd_buf = particles.pack(go_fwd) if n_fwd else _EMPTY_BUF
+    bwd_buf = particles.pack(go_bwd) if n_bwd else _EMPTY_BUF
+    n_out = n_fwd + n_bwd
+    if n_out:
+        yield comm.compute(cost.pack_time(n_out))
+
+    src_bwd, dst_fwd = cart.shift(axis, 1)
+    src_fwd, dst_bwd = cart.shift(axis, -1)
+    from_bwd = yield comm.sendrecv(
+        fwd_buf, dst=dst_fwd, src=src_bwd, sendtag=tag_fwd, recvtag=tag_fwd,
+        nbytes=cost.particle_wire_bytes(fwd_buf.nbytes),
+    )
+    from_fwd = yield comm.sendrecv(
+        bwd_buf, dst=dst_bwd, src=src_fwd, sendtag=tag_bwd, recvtag=tag_bwd,
+        nbytes=cost.particle_wire_bytes(bwd_buf.nbytes),
+    )
+
+    n_in = len(from_bwd) + len(from_fwd)
+    if n_in == 0:
+        if n_out == 0:
+            return particles
+        return particles.select(~(go_fwd | go_bwd))
+    yield comm.compute(cost.pack_time(n_in))
+    kept = particles.select(~(go_fwd | go_bwd)) if n_out else particles
+    parts = [kept]
+    if len(from_bwd):
+        parts.append(ParticleArray.from_packed(from_bwd))
+    if len(from_fwd):
+        parts.append(ParticleArray.from_packed(from_fwd))
+    return ParticleArray.concatenate(parts)

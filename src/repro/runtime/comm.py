@@ -1,0 +1,275 @@
+"""Communicator API of the simulated MPI runtime.
+
+:class:`Comm` mirrors the subset of the MPI interface the paper's reference
+implementations need.  Every communication method *returns an operation
+object* that the rank program must ``yield``; the scheduler performs the
+operation and resumes the generator with the result::
+
+    def program(comm: Comm):
+        if comm.rank == 0:
+            yield comm.send("hello", dst=1, tag=7)
+        else:
+            msg = yield comm.recv(src=0, tag=7)
+        n = yield comm.allreduce(1, op=SUM)   # == comm.size
+        return n
+
+Non-yielding helpers (``rank``, ``size``, ``wtime``, ``core``) may be called
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.runtime import ops
+from repro.runtime.costmodel import payload_nbytes
+from repro.runtime.reduce_ops import ReduceOp, SUM
+from repro.runtime.request import Request
+from repro.runtime.transport import ANY_SOURCE, ANY_TAG
+
+__all__ = ["Comm", "ANY_SOURCE", "ANY_TAG"]
+
+
+class Comm:
+    """One rank's handle on a communicator.
+
+    ``world_ranks[i]`` is the world rank of the communicator's local rank
+    ``i``; ``rank`` is this process's local rank.  Instances are created by
+    the scheduler (the world communicator) or by collective operations
+    (:meth:`split`, :meth:`create_cart`).
+    """
+
+    def __init__(self, scheduler, comm_id: int, world_ranks: tuple[int, ...], rank: int):
+        self._scheduler = scheduler
+        self.comm_id = comm_id
+        self.world_ranks = world_ranks
+        self.rank = rank
+        self._coll_seq = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (non-yielding)
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    @property
+    def world_rank(self) -> int:
+        """This process's rank in the world communicator."""
+        return self.world_ranks[self.rank]
+
+    def wtime(self) -> float:
+        """This rank's virtual clock (the simulated MPI_Wtime)."""
+        return self._scheduler.clock[self.world_rank]
+
+    def core(self) -> int:
+        """Physical core this rank currently executes on."""
+        return self._scheduler.rank_to_core[self.world_rank]
+
+    def translate_to_world(self, local_rank: int) -> int:
+        return self.world_ranks[local_rank]
+
+    def _check_peer(self, peer: int) -> None:
+        if not (0 <= peer < self.size):
+            raise ValueError(
+                f"peer rank {peer} out of range for communicator of size {self.size}"
+            )
+
+    def _next_seq(self) -> int:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, payload: Any, dst: int, tag: int = 0, nbytes: int | None = None) -> ops.SendOp:
+        """Buffered send of ``payload`` to local rank ``dst``."""
+        self._check_peer(dst)
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        return ops.SendOp(self, dst, tag, payload, nbytes)
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG, status: bool = False) -> ops.RecvOp:
+        """Blocking receive; resumes with the payload.
+
+        With ``status=True`` the program is resumed with ``(payload, src,
+        tag)`` instead, like querying an MPI_Status.
+        """
+        if src != ANY_SOURCE:
+            self._check_peer(src)
+        return ops.RecvOp(self, src, tag, with_status=status)
+
+    def sendrecv(
+        self,
+        payload: Any,
+        dst: int,
+        src: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        nbytes: int | None = None,
+    ) -> ops.SendrecvOp:
+        """Combined exchange: send to ``dst``, receive from ``src``."""
+        self._check_peer(dst)
+        if src != ANY_SOURCE:
+            self._check_peer(src)
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        return ops.SendrecvOp(self, payload, dst, sendtag, src, recvtag, nbytes)
+
+    # ------------------------------------------------------------------
+    # Nonblocking point-to-point
+    # ------------------------------------------------------------------
+    def isend(self, payload: Any, dst: int, tag: int = 0, nbytes: int | None = None):
+        """Nonblocking send: returns ``(op, request)``.
+
+        Yield the op (the buffered send completes immediately), keep the
+        request for symmetry with MPI code::
+
+            op, req = comm.isend(data, dst=right)
+            yield op
+            ...
+            yield comm.wait(req)     # free: sends are buffered
+        """
+        req = Request(self, "send", payload=payload)
+        return self.send(payload, dst, tag, nbytes=nbytes), req
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Post a nonblocking receive; complete it with :meth:`wait`.
+
+        Matching is lazy: the receive happens when the request is waited
+        on, with these criteria.  Requests on one (source, tag) stream
+        complete in the order they are waited on.
+        """
+        if src != ANY_SOURCE:
+            self._check_peer(src)
+        return Request(self, "recv", src=src, tag=tag)
+
+    def wait(self, request: Request) -> ops.WaitOp:
+        """Complete one request; resumes with its payload."""
+        if request.comm is not self:
+            raise ValueError("request belongs to a different communicator")
+        return ops.WaitOp(request)
+
+    def waitall(self, requests: Sequence[Request]):
+        """Complete several requests (generator; returns payload list).
+
+        Use as ``results = yield from comm.waitall(reqs)``.
+        """
+        results = []
+        for req in requests:
+            results.append((yield self.wait(req)))
+        return results
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> ops.CollectiveOp:
+        return ops.CollectiveOp(self, "barrier", seq=self._next_seq())
+
+    def bcast(self, value: Any = None, root: int = 0) -> ops.CollectiveOp:
+        """Broadcast ``root``'s value to all ranks (others pass anything)."""
+        self._check_peer(root)
+        return ops.CollectiveOp(
+            self, "bcast", value=value, root=root, seq=self._next_seq(),
+            nbytes=payload_nbytes(value),
+        )
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> ops.CollectiveOp:
+        self._check_peer(root)
+        return ops.CollectiveOp(
+            self, "reduce", value=value, op=op, root=root, seq=self._next_seq(),
+            nbytes=payload_nbytes(value),
+        )
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> ops.CollectiveOp:
+        return ops.CollectiveOp(
+            self, "allreduce", value=value, op=op, seq=self._next_seq(),
+            nbytes=payload_nbytes(value),
+        )
+
+    def gather(self, value: Any, root: int = 0) -> ops.CollectiveOp:
+        """Root resumes with the list of all values (by rank); others None."""
+        self._check_peer(root)
+        return ops.CollectiveOp(
+            self, "gather", value=value, root=root, seq=self._next_seq(),
+            nbytes=payload_nbytes(value),
+        )
+
+    def allgather(self, value: Any) -> ops.CollectiveOp:
+        """Every rank resumes with the list of all values (by rank)."""
+        return ops.CollectiveOp(
+            self, "allgather", value=value, seq=self._next_seq(),
+            nbytes=payload_nbytes(value),
+        )
+
+    def alltoall(self, values: Sequence[Any]) -> ops.CollectiveOp:
+        """Rank ``i`` contributes ``values[j]`` for each peer ``j`` and
+        resumes with the list of values addressed to it."""
+        if len(values) != self.size:
+            raise ValueError(
+                f"alltoall needs exactly {self.size} values, got {len(values)}"
+            )
+        return ops.CollectiveOp(
+            self, "alltoall", value=list(values), seq=self._next_seq(),
+            nbytes=payload_nbytes(values),
+        )
+
+    def scan(self, value: Any, op: ReduceOp = SUM) -> ops.CollectiveOp:
+        """Inclusive prefix reduction over ranks."""
+        return ops.CollectiveOp(
+            self, "scan", value=value, op=op, seq=self._next_seq(),
+            nbytes=payload_nbytes(value),
+        )
+
+    def split(self, color: int | None, key: int = 0) -> ops.CollectiveOp:
+        """Partition the communicator; resumes with the new Comm (or None).
+
+        Ranks passing the same ``color`` form a new communicator, ordered by
+        ``(key, old rank)``.  ``color=None`` opts out (MPI_UNDEFINED).
+        """
+        return ops.CollectiveOp(
+            self, "split", value=(color, key), seq=self._next_seq(), nbytes=16,
+        )
+
+    def create_cart(self, dims: tuple[int, int], periodic: bool = True) -> ops.CollectiveOp:
+        """Create a 2D Cartesian communicator; resumes with a CartComm.
+
+        ``dims[0] * dims[1]`` must equal the communicator size; ranks keep
+        their order (row-major coordinates).
+        """
+        if dims[0] * dims[1] != self.size:
+            raise ValueError(
+                f"cartesian dims {dims} do not cover communicator size {self.size}"
+            )
+        return ops.CollectiveOp(
+            self, "cart_create", value=(tuple(dims), bool(periodic)),
+            seq=self._next_seq(), nbytes=16,
+        )
+
+    def user_collective(self, value: Any, fn: Callable) -> ops.CollectiveOp:
+        """Custom collective: ``fn(values, ctx)`` returns per-rank results.
+
+        ``fn`` runs once when every rank has arrived, receiving the list of
+        contributed values (by local rank) and a
+        :class:`repro.runtime.scheduler.CollectiveContext`.  Only the op
+        yielded by local rank 0 supplies ``fn`` (the others may pass the
+        same function; it is ignored).  Used by the AMPI runtime's migrate().
+        """
+        return ops.CollectiveOp(
+            self, "user", value=value, user_fn=fn, seq=self._next_seq(),
+            nbytes=payload_nbytes(value),
+        )
+
+    # ------------------------------------------------------------------
+    # Compute accounting
+    # ------------------------------------------------------------------
+    def compute(self, seconds: float) -> ops.ComputeOp:
+        """Charge ``seconds`` of local computation to this rank's clock."""
+        return ops.ComputeOp(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Comm(id={self.comm_id}, rank={self.rank}/{self.size}, "
+            f"world={self.world_rank})"
+        )

@@ -1,0 +1,171 @@
+"""Cost model: converts work and communication into simulated seconds.
+
+The PIC PRK's performance behaviour (paper §V) is governed by a handful of
+rates:
+
+* particle push time — compute per step is linear in the local particle
+  count (this is the property Eqs. 7-8 build the imbalance analysis on);
+* per-particle pack/unpack time when particles are communicated;
+* per-cell handling time when subgrids are migrated during load balancing;
+* message latency/bandwidth per machine tier (see
+  :mod:`repro.runtime.machine`);
+* collective costs, modelled as log2(P) latency-bound stages at the widest
+  tier the communicator spans.
+
+The default ``particle_push_s`` is calibrated so that the paper's serial
+baseline (600 k particles x 6,000 steps ≈ 500 s, backed out of the 179x
+speedup at 384 cores in §V-B) is matched by the model at full scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.runtime.machine import MachineModel, Tier
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulated-time cost model bound to a machine model."""
+
+    machine: MachineModel = field(default_factory=MachineModel)
+    #: Seconds to push one particle one step (force + integration).
+    particle_push_s: float = 1.4e-7
+    #: Seconds per particle to pack/unpack for communication.
+    particle_pack_s: float = 1.5e-8
+    #: Seconds per mesh cell to pack/apply when a subgrid changes owner.
+    cell_handling_s: float = 4.0e-9
+    #: Fixed software overhead per point-to-point message (send+recv sides
+    #: combined): matching, progress engine, buffer management.  Paid per
+    #: message regardless of size, so an over-decomposed run pays it ``d``
+    #: times more often per core — one of AMPI's intrinsic costs.
+    message_overhead_s: float = 2.0e-6
+    #: Per-step scheduling overhead of one virtual processor (AMPI): user-level
+    #: context switch plus message-queue handling.
+    vp_scheduling_s: float = 3.0e-6
+    #: Byte-volume multipliers for scaled-down workloads (see
+    #: repro.bench.workloads): a particle buffer of n bytes is priced as
+    #: ``n * particle_byte_scale`` on the wire, and a subgrid of c cells as
+    #: ``c * cell_byte_scale`` cells.  Both default to 1 (true sizes).
+    particle_byte_scale: float = 1.0
+    cell_byte_scale: float = 1.0
+    #: Effective serialize/deserialize rate of VP migration (bytes/s).  Far
+    #: below raw link bandwidth: PUP packing, allocation, thread and
+    #: communicator rebuild.  Backed out of the paper's Fig. 5, whose
+    #: F-sweep implies an MPI_Migrate invocation cost of order 10^-1 s
+    #: for ~MB-sized VPs (see EXPERIMENTS.md).
+    pup_bandwidth: float = 2.0e8
+
+    def __post_init__(self) -> None:
+        for name in (
+            "particle_push_s",
+            "particle_pack_s",
+            "cell_handling_s",
+            "message_overhead_s",
+            "vp_scheduling_s",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.particle_byte_scale <= 0 or self.cell_byte_scale <= 0:
+            raise ValueError("byte scales must be positive")
+
+    # ------------------------------------------------------------------
+    # Scaled byte volumes
+    # ------------------------------------------------------------------
+    def particle_wire_bytes(self, nbytes: int) -> int:
+        """Wire bytes charged for a particle payload of true size nbytes."""
+        return int(nbytes * self.particle_byte_scale)
+
+    def subgrid_wire_bytes(self, n_cells: int, bytes_per_cell: int = 8) -> int:
+        """Wire bytes charged for migrating ``n_cells`` of stored mesh."""
+        return int(n_cells * self.cell_byte_scale) * bytes_per_cell
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def push_time(self, n_particles: int) -> float:
+        """Compute time to push ``n_particles`` one step."""
+        return n_particles * self.particle_push_s
+
+    def pack_time(self, n_particles: int) -> float:
+        """Marshalling time for ``n_particles`` entering/leaving a message."""
+        return n_particles * self.particle_pack_s
+
+    def subgrid_time(self, n_cells: int) -> float:
+        """Handling time for ``n_cells`` of mesh changing owner."""
+        return n_cells * self.cell_handling_s
+
+    def subgrid_migration_time(self, n_cells: int) -> float:
+        """Handling time for a migrated subgrid, in scaled (paper) cells."""
+        return n_cells * self.cell_byte_scale * self.cell_handling_s
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def message_time(self, src_core: int, dst_core: int, nbytes: float) -> float:
+        """Wire time of one message between two cores."""
+        return self.machine.transfer_time(src_core, dst_core, nbytes)
+
+    def send_overhead(self) -> float:
+        """CPU time spent by the sender initiating a message."""
+        return 0.5 * self.message_overhead_s
+
+    def recv_overhead(self) -> float:
+        """CPU time spent by the receiver completing a message."""
+        return 0.5 * self.message_overhead_s
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def collective_time(self, kind: str, cores, nbytes: float) -> float:
+        """Cost of one collective over the given participant cores.
+
+        Modelled as ``ceil(log2 P)`` stages of the widest tier's latency plus
+        a bandwidth term on the moved payload.  ``kind`` scales the payload
+        factor: rooted collectives move the data once, all-to-all moves it
+        across all pairs.
+        """
+        cores = list(cores)
+        p = len(cores)
+        if p <= 1:
+            return 0.0
+        tier = self.machine.worst_tier(cores)
+        costs = self.machine.costs(tier)
+        stages = max(1, math.ceil(math.log2(p)))
+        factor = {
+            "barrier": 0.0,
+            "bcast": 1.0,
+            "reduce": 1.0,
+            "allreduce": 2.0,
+            "gather": 1.0,
+            "allgather": 2.0,
+            "alltoall": float(p),
+            "scan": 1.0,
+            "split": 1.0,
+        }.get(kind, 1.0)
+        return stages * costs.latency + factor * nbytes / costs.bandwidth
+
+
+def payload_nbytes(value) -> int:
+    """Best-effort byte size of a message payload.
+
+    NumPy arrays report their buffer size; containers are summed
+    element-wise; scalars count as 8 bytes.  This feeds the bandwidth term of
+    the cost model — approximate sizes are fine, but systematically ignoring
+    a large particle buffer would distort the figures, so arrays must be
+    exact.
+    """
+    import numpy as np
+
+    if value is None:
+        return 0
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, (tuple, list)):
+        return sum(payload_nbytes(v) for v in value)
+    if isinstance(value, dict):
+        return sum(payload_nbytes(v) for v in value.values())
+    return 8

@@ -1,0 +1,25 @@
+"""Error types raised by the simulated MPI runtime."""
+
+from __future__ import annotations
+
+
+class DeadlockError(RuntimeError):
+    """No rank can make progress: every live rank is blocked.
+
+    Raised by the scheduler when all unfinished ranks are waiting on
+    receives or collectives that can never complete — the simulated
+    equivalent of a hung MPI job.
+    """
+
+
+class CollectiveMismatchError(RuntimeError):
+    """Ranks of one communicator disagree on the collective being executed.
+
+    E.g. one rank calls ``allreduce`` while another calls ``barrier`` as the
+    n-th collective on the same communicator — a program bug that real MPI
+    would surface as a hang or corruption; we fail fast instead.
+    """
+
+
+class RuntimeConfigError(ValueError):
+    """Invalid runtime configuration (rank counts, machine geometry, ...)."""

@@ -1,0 +1,31 @@
+"""Message representation for the simulated MPI transport."""
+
+from __future__ import annotations
+
+
+class Message:
+    """One in-flight point-to-point message.
+
+    ``src`` is the sender's rank *within the communicator* identified by
+    ``comm_id`` (matching is always communicator-scoped, like MPI).
+    ``t_avail`` is the simulated time at which the payload is available at
+    the receiver; ``seq`` is a global monotonically increasing sequence
+    number used to keep matching deterministic and non-overtaking.
+    """
+
+    __slots__ = ("comm_id", "src", "tag", "payload", "nbytes", "t_avail", "seq")
+
+    def __init__(self, comm_id, src, tag, payload, nbytes, t_avail, seq):
+        self.comm_id = comm_id
+        self.src = src
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.t_avail = t_avail
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(comm={self.comm_id}, src={self.src}, tag={self.tag}, "
+            f"bytes={self.nbytes}, t={self.t_avail:.3e})"
+        )

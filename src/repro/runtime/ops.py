@@ -1,0 +1,112 @@
+"""Communication operations yielded by rank programs to the scheduler.
+
+Rank programs never construct these directly — they call methods on
+:class:`repro.runtime.comm.Comm` which return the op, and ``yield`` it::
+
+    def program(comm):
+        total = yield comm.allreduce(len(local), op=SUM)
+        yield comm.send(payload, dst=right, tag=0)
+        data = yield comm.recv(src=left, tag=0)
+        return total
+
+Sends are *buffered*: they complete locally as soon as the payload is handed
+to the transport (like an eager-protocol MPI_Send), so symmetric exchange
+patterns cannot deadlock on send.  Receives block until a matching message
+exists.
+"""
+
+from __future__ import annotations
+
+
+class SendOp:
+    """Buffered point-to-point send."""
+
+    __slots__ = ("comm", "dst", "tag", "payload", "nbytes")
+
+    def __init__(self, comm, dst, tag, payload, nbytes):
+        self.comm = comm
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+
+
+class RecvOp:
+    """Blocking point-to-point receive (wildcards allowed)."""
+
+    __slots__ = ("comm", "src", "tag", "with_status")
+
+    def __init__(self, comm, src, tag, with_status=False):
+        self.comm = comm
+        self.src = src
+        self.tag = tag
+        self.with_status = with_status
+
+
+class SendrecvOp:
+    """Combined send+receive, safe against exchange deadlocks."""
+
+    __slots__ = ("comm", "dst", "sendtag", "payload", "nbytes", "src", "recvtag")
+
+    def __init__(self, comm, payload, dst, sendtag, src, recvtag, nbytes):
+        self.comm = comm
+        self.payload = payload
+        self.dst = dst
+        self.sendtag = sendtag
+        self.src = src
+        self.recvtag = recvtag
+        self.nbytes = nbytes
+
+
+class ComputeOp:
+    """Charge local compute time to the rank's (and its core's) clock."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        self.seconds = seconds
+
+
+class WaitOp:
+    """Complete a previously posted nonblocking request.
+
+    Nonblocking sends are buffered (already complete when posted); waiting
+    on them is free.  Nonblocking receives are matched lazily: the wait
+    performs the actual blocking receive with the criteria recorded at post
+    time.  Requests posted on the same (source, tag) pair complete in post
+    order, preserving MPI's matching order for the patterns the PIC
+    implementations use.
+    """
+
+    __slots__ = ("request",)
+
+    def __init__(self, request):
+        self.request = request
+
+
+class CollectiveOp:
+    """Any collective over a communicator.
+
+    ``seq`` is the per-communicator collective sequence number; all ranks of
+    a communicator execute collectives in the same order, so ``(comm_id,
+    seq)`` uniquely identifies one collective instance across ranks.
+
+    ``kind`` selects the built-in completion semantics (barrier, bcast,
+    reduce, allreduce, gather, allgather, alltoall, alltoallv, scan, split,
+    cart_create) or ``"user"``, in which case ``user_fn(values, ctx)``
+    computes the per-rank results (used by the AMPI runtime's migrate()).
+    """
+
+    __slots__ = ("comm", "kind", "value", "op", "root", "seq", "user_fn", "nbytes")
+
+    def __init__(self, comm, kind, value=None, op=None, root=0, seq=0, user_fn=None, nbytes=0):
+        self.comm = comm
+        self.kind = kind
+        self.value = value
+        self.op = op
+        self.root = root
+        self.seq = seq
+        self.user_fn = user_fn
+        self.nbytes = nbytes

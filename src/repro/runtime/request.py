@@ -1,0 +1,32 @@
+"""Nonblocking communication requests (MPI_Request analogue).
+
+The simulated runtime buffers sends, so an ``isend`` completes immediately;
+an ``irecv`` records its matching criteria and the actual receive happens
+when the request is waited on.  This "lazy irecv" preserves semantics for
+the common PIC patterns (post all receives, do work, wait all): requests on
+one (source, tag) stream complete in posting order because waits execute in
+program order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Request:
+    """Handle for a nonblocking operation; complete it by yielding
+    ``comm.wait(request)`` (or ``comm.waitall([...])``)."""
+
+    __slots__ = ("comm", "kind", "src", "tag", "payload", "done", "result")
+
+    def __init__(self, comm, kind: str, src: int = -1, tag: int = -1, payload: Any = None):
+        self.comm = comm
+        self.kind = kind  # "send" or "recv"
+        self.src = src
+        self.tag = tag
+        self.payload = payload
+        self.done = kind == "send"  # buffered sends complete at post time
+        self.result = payload if kind == "send" else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Request({self.kind}, src={self.src}, tag={self.tag}, done={self.done})"

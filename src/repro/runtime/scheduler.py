@@ -1,0 +1,485 @@
+"""Deterministic scheduler for simulated SPMD programs.
+
+Rank programs are generators (see :mod:`repro.runtime.comm`).  The scheduler
+round-robins over runnable ranks, executing each until it yields an
+operation; blocking operations (receives without a matching message,
+collectives waiting for stragglers) park the rank until the operation can
+complete.  Execution is fully deterministic: identical programs produce
+identical message orders, results and simulated times on every run.
+
+Virtual time
+------------
+Every world rank owns a clock; every physical core owns a busy-until clock.
+Compute phases and per-message CPU overheads occupy the core — so several
+ranks mapped to one core (AMPI virtual processors) serialize, while waiting
+on a message does not hold the core.  Message transfer times and collective
+costs come from the :class:`repro.runtime.costmodel.CostModel`.  The maximum
+final rank clock is the simulated execution time of the job, the analogue of
+the paper's reported wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.runtime import ops
+from repro.runtime.cart import CartComm
+from repro.runtime.comm import Comm
+from repro.runtime.costmodel import CostModel
+from repro.runtime.errors import (
+    CollectiveMismatchError,
+    DeadlockError,
+    RuntimeConfigError,
+)
+from repro.runtime.machine import MachineModel
+from repro.runtime.message import Message
+from repro.runtime.reduce_ops import ReduceOp
+from repro.runtime.transport import ANY_SOURCE, ANY_TAG, Transport
+
+_RUNNABLE = 0
+_BLOCKED_RECV = 1
+_BLOCKED_COLL = 2
+_DONE = 3
+
+
+class _RankState:
+    __slots__ = ("gen", "status", "blocked_op", "resume_value", "retval")
+
+    def __init__(self, gen):
+        self.gen = gen
+        self.status = _RUNNABLE
+        self.blocked_op = None
+        self.resume_value = None
+        self.retval = None
+
+
+@dataclass
+class CollectiveContext:
+    """Handle given to user collectives (see ``Comm.user_collective``).
+
+    Allows the AMPI runtime's migrate() to re-map ranks to cores and charge
+    migration time without reaching into scheduler internals.
+    """
+
+    scheduler: "Scheduler"
+    comm: Comm
+    #: Extra seconds to add to each local rank's clock after completion.
+    extra_time: dict[int, float] = field(default_factory=dict)
+
+    def core_of(self, local_rank: int) -> int:
+        return self.scheduler.rank_to_core[self.comm.world_ranks[local_rank]]
+
+    def set_core(self, local_rank: int, core: int) -> None:
+        self.scheduler.rank_to_core[self.comm.world_ranks[local_rank]] = core
+
+    def add_time(self, local_rank: int, seconds: float) -> None:
+        self.extra_time[local_rank] = self.extra_time.get(local_rank, 0.0) + seconds
+
+    @property
+    def cost(self) -> CostModel:
+        return self.scheduler.cost
+
+    @property
+    def machine(self) -> MachineModel:
+        return self.scheduler.machine
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one simulated SPMD run."""
+
+    returns: list
+    times: list[float]
+    total_time: float
+    messages_sent: int
+    bytes_sent: int
+    collectives: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpmdResult(T={self.total_time:.4f}s, msgs={self.messages_sent}, "
+            f"bytes={self.bytes_sent}, colls={self.collectives})"
+        )
+
+
+class Scheduler:
+    """Runs a set of rank programs to completion."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        machine: MachineModel | None = None,
+        cost: CostModel | None = None,
+        rank_to_core: Sequence[int] | None = None,
+    ):
+        if n_ranks <= 0:
+            raise RuntimeConfigError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.machine = machine or MachineModel()
+        self.cost = cost or CostModel(machine=self.machine)
+        if self.cost.machine is not self.machine:
+            # Keep one source of truth for the topology.
+            self.cost = CostModel(
+                machine=self.machine,
+                particle_push_s=self.cost.particle_push_s,
+                particle_pack_s=self.cost.particle_pack_s,
+                cell_handling_s=self.cost.cell_handling_s,
+                message_overhead_s=self.cost.message_overhead_s,
+                vp_scheduling_s=self.cost.vp_scheduling_s,
+            )
+        if rank_to_core is None:
+            rank_to_core = list(range(n_ranks))
+        else:
+            rank_to_core = list(rank_to_core)
+            if len(rank_to_core) != n_ranks:
+                raise RuntimeConfigError("rank_to_core must have one entry per rank")
+        self.rank_to_core = rank_to_core
+        self.transport = Transport(n_ranks)
+        self.clock = [0.0] * n_ranks
+        self.core_clock: dict[int, float] = {}
+        self._comm_counter = 0
+        self._coll_pool: dict[tuple[int, int], dict[int, ops.CollectiveOp]] = {}
+        self._states: list[_RankState] = []
+        self.collectives_completed = 0
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def make_world(self, rank: int) -> Comm:
+        """World communicator handle for ``rank`` (comm_id 0)."""
+        return Comm(self, 0, tuple(range(self.n_ranks)), rank)
+
+    def next_comm_id(self) -> int:
+        self._comm_counter += 1
+        return self._comm_counter
+
+    def run(self, programs: Sequence[Callable[[Comm], Any]]) -> SpmdResult:
+        """Execute one program per rank until every rank returns."""
+        if len(programs) != self.n_ranks:
+            raise RuntimeConfigError(
+                f"got {len(programs)} programs for {self.n_ranks} ranks"
+            )
+        self._states = []
+        for r, prog in enumerate(programs):
+            gen = prog(self.make_world(r))
+            self._states.append(_RankState(gen))
+
+        ready = deque(range(self.n_ranks))
+        finished = 0
+        states = self._states
+        while finished < self.n_ranks:
+            if not ready:
+                self._raise_deadlock()
+            r = ready.popleft()
+            state = states[r]
+            if state.status != _RUNNABLE:  # pragma: no cover - defensive
+                continue
+            gen = state.gen
+            if gen is None or not hasattr(gen, "send"):
+                # Program body had no yield: the call already returned a value.
+                state.retval = gen
+                state.status = _DONE
+                finished += 1
+                continue
+            try:
+                value, state.resume_value = state.resume_value, None
+                op = gen.send(value)
+            except StopIteration as stop:
+                state.retval = stop.value
+                state.status = _DONE
+                finished += 1
+                continue
+            self._dispatch(r, op, ready)
+
+        times = list(self.clock)
+        return SpmdResult(
+            returns=[s.retval for s in states],
+            times=times,
+            total_time=max(times),
+            messages_sent=self.transport.messages_sent,
+            bytes_sent=self.transport.bytes_sent,
+            collectives=self.collectives_completed,
+        )
+
+    # ------------------------------------------------------------------
+    # Clock helpers
+    # ------------------------------------------------------------------
+    def _occupy(self, rank: int, seconds: float) -> float:
+        """Occupy the rank's core for ``seconds``; returns the end time.
+
+        Zero-duration occupations are free and must not touch the core
+        clock: the core-busy model is forward-only (no backfilling of idle
+        gaps), so pushing the core clock to a late rank's current time
+        would wrongly delay co-located ranks whose work logically fits in
+        the earlier idle gap.
+        """
+        if seconds == 0.0:
+            return self.clock[rank]
+        core = self.rank_to_core[rank]
+        start = max(self.clock[rank], self.core_clock.get(core, 0.0))
+        end = start + seconds
+        self.clock[rank] = end
+        self.core_clock[core] = end
+        return end
+
+    # ------------------------------------------------------------------
+    # Op dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, r: int, op, ready: deque) -> None:
+        if type(op) is ops.ComputeOp:
+            self._occupy(r, op.seconds)
+            ready.append(r)
+        elif type(op) is ops.SendOp:
+            self._do_send(r, op.comm, op.dst, op.tag, op.payload, op.nbytes, ready)
+            ready.append(r)
+        elif type(op) is ops.RecvOp:
+            self._try_recv(r, op, ready)
+        elif type(op) is ops.SendrecvOp:
+            self._do_send(r, op.comm, op.dst, op.sendtag, op.payload, op.nbytes, ready)
+            recv = ops.RecvOp(op.comm, op.src, op.recvtag)
+            self._try_recv(r, recv, ready)
+        elif type(op) is ops.WaitOp:
+            req = op.request
+            if req.done:
+                self._states[r].resume_value = req.result
+                ready.append(r)
+            else:
+                # Lazy irecv: the wait performs the blocking receive.
+                recv = ops.RecvOp(req.comm, req.src, req.tag)
+                req.done = True
+                self._try_recv(r, recv, ready)
+        elif type(op) is ops.CollectiveOp:
+            self._join_collective(r, op, ready)
+        else:
+            raise TypeError(
+                f"rank {r} yielded {op!r}, which is not a runtime operation"
+            )
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def _do_send(self, r: int, comm: Comm, dst: int, tag, payload, nbytes, ready: deque) -> None:
+        dst_world = comm.world_ranks[dst]
+        end = self._occupy(r, self.cost.send_overhead())
+        wire = self.cost.message_time(
+            self.rank_to_core[r], self.rank_to_core[dst_world], nbytes
+        )
+        msg = Message(
+            comm_id=comm.comm_id,
+            src=comm.rank,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            t_avail=end + wire,
+            seq=self.transport.next_seq(),
+        )
+        self.transport.deliver(dst_world, msg)
+        # A rank parked on a matching receive can now continue.
+        dst_state = self._states[dst_world]
+        if dst_state.status == _BLOCKED_RECV:
+            pending = dst_state.blocked_op
+            matched = self.transport.match(
+                dst_world, pending.comm.comm_id, pending.src, pending.tag
+            )
+            if matched is not None:
+                self._complete_recv(dst_world, pending, matched)
+                dst_state.status = _RUNNABLE
+                dst_state.blocked_op = None
+                ready.append(dst_world)
+
+    def _try_recv(self, r: int, op: ops.RecvOp, ready: deque) -> None:
+        msg = self.transport.match(r, op.comm.comm_id, op.src, op.tag)
+        if msg is None:
+            state = self._states[r]
+            state.status = _BLOCKED_RECV
+            state.blocked_op = op
+            return
+        self._complete_recv(r, op, msg)
+        ready.append(r)
+
+    def _complete_recv(self, r: int, op: ops.RecvOp, msg: Message) -> None:
+        wait_until = max(self.clock[r], msg.t_avail)
+        self.clock[r] = wait_until
+        self._occupy(r, self.cost.recv_overhead())
+        state = self._states[r]
+        if op.with_status:
+            state.resume_value = (msg.payload, msg.src, msg.tag)
+        else:
+            state.resume_value = msg.payload
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def _join_collective(self, r: int, op: ops.CollectiveOp, ready: deque) -> None:
+        key = (op.comm.comm_id, op.seq)
+        pool = self._coll_pool.setdefault(key, {})
+        local = op.comm.rank
+        if local in pool:  # pragma: no cover - defensive
+            raise CollectiveMismatchError(
+                f"rank {r} joined collective {key} twice"
+            )
+        if pool:
+            first_kind = next(iter(pool.values())).kind
+            if op.kind != first_kind:
+                raise CollectiveMismatchError(
+                    f"collective #{op.seq} on comm {op.comm.comm_id} mixes "
+                    f"kinds {{{first_kind!r}, {op.kind!r}}}"
+                )
+        pool[local] = op
+        state = self._states[r]
+        if len(pool) < op.comm.size:
+            state.status = _BLOCKED_COLL
+            state.blocked_op = op
+            return
+        # Last arrival completes the collective on behalf of everyone.
+        del self._coll_pool[key]
+        self._finish_collective(op.comm, pool, ready)
+
+    def _finish_collective(self, comm_sample: Comm, pool: dict[int, ops.CollectiveOp], ready: deque) -> None:
+        self.collectives_completed += 1
+        size = comm_sample.size
+        world_ranks = comm_sample.world_ranks
+        op0 = pool[0]
+        kind = op0.kind
+        values = [pool[i].value for i in range(size)]
+        nbytes = max(pool[i].nbytes for i in range(size))
+        cores = [self.rank_to_core[w] for w in world_ranks]
+
+        t_arrive = max(self.clock[w] for w in world_ranks)
+        extra: dict[int, float] = {}
+
+        if kind == "user":
+            fn = op0.user_fn
+            if fn is None:
+                raise CollectiveMismatchError("user collective without a function")
+            ctx = CollectiveContext(self, pool[0].comm)
+            results = fn(values, ctx)
+            if len(results) != size:
+                raise CollectiveMismatchError(
+                    f"user collective returned {len(results)} results for {size} ranks"
+                )
+            extra = ctx.extra_time
+        else:
+            results = self._builtin_collective(kind, pool, values, size)
+
+        t_done = t_arrive + self.cost.collective_time(kind, cores, nbytes)
+        for i, w in enumerate(world_ranks):
+            self.clock[w] = t_done + extra.get(i, 0.0)
+            st = self._states[w]
+            st.resume_value = results[i]
+            if st.status == _BLOCKED_COLL:
+                st.status = _RUNNABLE
+                st.blocked_op = None
+            ready.append(w)
+
+    def _builtin_collective(self, kind, pool, values, size):
+        if kind == "barrier":
+            return [None] * size
+        if kind == "bcast":
+            root_value = values[pool[0].root]
+            return [root_value] * size
+        if kind == "reduce":
+            folded = _fold(pool[0].op, values)
+            root = pool[0].root
+            return [folded if i == root else None for i in range(size)]
+        if kind == "allreduce":
+            folded = _fold(pool[0].op, values)
+            return [folded] * size
+        if kind == "gather":
+            root = pool[0].root
+            return [list(values) if i == root else None for i in range(size)]
+        if kind == "allgather":
+            return [list(values) for _ in range(size)]
+        if kind == "alltoall":
+            return [[values[j][i] for j in range(size)] for i in range(size)]
+        if kind == "scan":
+            op = pool[0].op
+            out = []
+            acc = None
+            for i, v in enumerate(values):
+                acc = v if i == 0 else op(acc, v)
+                out.append(acc)
+            return out
+        if kind == "split":
+            return self._do_split(pool, values, size)
+        if kind == "cart_create":
+            return self._do_cart_create(pool, values, size)
+        raise CollectiveMismatchError(f"unknown collective kind {kind!r}")
+
+    def _do_split(self, pool, values, size):
+        comm = pool[0].comm
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for local, (color, key) in enumerate(values):
+            if color is None:
+                continue
+            groups.setdefault(color, []).append((key, local))
+        results: list = [None] * size
+        for color in sorted(groups):
+            members = sorted(groups[color])  # by (key, old rank)
+            new_world = tuple(comm.world_ranks[local] for _, local in members)
+            new_id = self.next_comm_id()
+            for new_rank, (_, local) in enumerate(members):
+                results[local] = Comm(self, new_id, new_world, new_rank)
+        return results
+
+    def _do_cart_create(self, pool, values, size):
+        comm = pool[0].comm
+        dims, periodic = values[0]
+        if any(v != (dims, periodic) for v in values):
+            raise CollectiveMismatchError("ranks disagree on cartesian dims")
+        new_id = self.next_comm_id()
+        world = tuple(comm.world_ranks)
+        return [
+            CartComm(self, new_id, world, i, dims, periodic) for i in range(size)
+        ]
+
+    # ------------------------------------------------------------------
+    def _raise_deadlock(self) -> None:
+        blocked = []
+        for r, st in enumerate(self._states):
+            if st.status == _BLOCKED_RECV:
+                op = st.blocked_op
+                blocked.append(
+                    f"rank {r}: recv(src={op.src}, tag={op.tag}, comm={op.comm.comm_id})"
+                )
+            elif st.status == _BLOCKED_COLL:
+                op = st.blocked_op
+                blocked.append(
+                    f"rank {r}: collective {op.kind} #{op.seq} on comm {op.comm.comm_id}"
+                )
+        detail = "\n".join(blocked) if blocked else "(no blocked ranks?)"
+        raise DeadlockError(
+            "no rank can make progress; blocked operations:\n"
+            + detail
+            + "\npending messages:\n"
+            + self.transport.describe_pending()
+        )
+
+
+def _fold(op: ReduceOp, values: list):
+    if op is None:
+        raise CollectiveMismatchError("reduction collective without an operator")
+    return op.reduce(values)
+
+
+def run_spmd(
+    n_ranks: int,
+    program: Callable[[Comm], Any] | Sequence[Callable[[Comm], Any]],
+    *,
+    machine: MachineModel | None = None,
+    cost: CostModel | None = None,
+    rank_to_core: Sequence[int] | None = None,
+) -> SpmdResult:
+    """Convenience wrapper: run one program (or one per rank) on ``n_ranks``.
+
+    ``program`` is either a single callable used by every rank or a sequence
+    of per-rank callables.
+    """
+    sched = Scheduler(n_ranks, machine=machine, cost=cost, rank_to_core=rank_to_core)
+    if callable(program):
+        programs = [program] * n_ranks
+    else:
+        programs = list(program)
+    return sched.run(programs)

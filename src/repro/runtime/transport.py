@@ -1,0 +1,69 @@
+"""In-memory transport with MPI matching semantics.
+
+Each destination (world rank) owns an ordered list of pending messages.
+A receive matches the *earliest delivered* pending message whose
+communicator, source and tag agree (``ANY_SOURCE``/``ANY_TAG`` wildcards
+supported).  Because the pending list is kept in send order, messages
+between one (source, tag) pair can never overtake one another — MPI's
+non-overtaking guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.message import Message
+
+#: Wildcard constants, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+ANY_SOURCE: int = -1
+ANY_TAG: int = -1
+
+
+class Transport:
+    """Mailboxes for ``n`` world ranks."""
+
+    def __init__(self, n_ranks: int):
+        if n_ranks <= 0:
+            raise ValueError("transport needs at least one rank")
+        self.n_ranks = n_ranks
+        self._pending: list[list[Message]] = [[] for _ in range(n_ranks)]
+        self._seq = 0
+        # Traffic statistics (exposed through the scheduler for benchmarks).
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def deliver(self, dst_world: int, message: Message) -> None:
+        """Queue a message at its destination."""
+        self._pending[dst_world].append(message)
+        self.messages_sent += 1
+        self.bytes_sent += message.nbytes
+
+    def match(self, dst_world: int, comm_id: int, src: int, tag: int) -> Message | None:
+        """Pop and return the first matching pending message, if any."""
+        pending = self._pending[dst_world]
+        for i, msg in enumerate(pending):
+            if msg.comm_id != comm_id:
+                continue
+            if src != ANY_SOURCE and msg.src != src:
+                continue
+            if tag != ANY_TAG and msg.tag != tag:
+                continue
+            del pending[i]
+            return msg
+        return None
+
+    def pending_count(self, dst_world: int) -> int:
+        return len(self._pending[dst_world])
+
+    def total_pending(self) -> int:
+        return sum(len(q) for q in self._pending)
+
+    def describe_pending(self, limit: int = 10) -> str:
+        """Human-readable dump of undelivered messages (deadlock reports)."""
+        lines = []
+        for dst, queue in enumerate(self._pending):
+            for msg in queue[:limit]:
+                lines.append(f"  dst={dst} <- {msg!r}")
+        return "\n".join(lines) if lines else "  (no pending messages)"

@@ -1,0 +1,136 @@
+"""Unit tests for the AMPI load-balancing strategies."""
+
+import numpy as np
+import pytest
+
+from repro.ampi.loadbalancer import (
+    GreedyLB,
+    GreedyTransferLB,
+    NullLB,
+    RefineLB,
+    _core_loads,
+)
+
+
+def imbalance(loads, mapping, n_cores):
+    per_core = _core_loads(loads, mapping, n_cores)
+    mean = sum(per_core) / n_cores
+    return max(per_core) / mean if mean else 1.0
+
+
+STRATEGIES = [GreedyLB(), GreedyTransferLB(), RefineLB()]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("lb", STRATEGIES + [NullLB()])
+    def test_mapping_stays_valid(self, lb):
+        rng = np.random.default_rng(1)
+        loads = rng.uniform(0, 10, size=32).tolist()
+        mapping = rng.integers(0, 4, size=32).tolist()
+        new = lb.rebalance(loads, mapping, 4)
+        assert len(new) == 32
+        assert all(0 <= c < 4 for c in new)
+
+    @pytest.mark.parametrize("lb", STRATEGIES + [NullLB()])
+    def test_inputs_not_mutated(self, lb):
+        loads = [5.0, 1.0, 1.0, 1.0]
+        mapping = [0, 0, 0, 0]
+        lb.rebalance(loads, mapping, 2)
+        assert mapping == [0, 0, 0, 0]
+
+    @pytest.mark.parametrize("lb", STRATEGIES)
+    def test_imbalance_never_worse(self, lb):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            loads = rng.exponential(5, size=24).tolist()
+            mapping = rng.integers(0, 6, size=24).tolist()
+            before = imbalance(loads, mapping, 6)
+            after = imbalance(loads, lb.rebalance(loads, mapping, 6), 6)
+            assert after <= before + 1e-9
+
+    @pytest.mark.parametrize("lb", STRATEGIES + [NullLB()])
+    def test_validation(self, lb):
+        with pytest.raises(ValueError):
+            lb.rebalance([1.0], [0, 1], 2)
+        with pytest.raises(ValueError):
+            lb.rebalance([1.0], [0], 0)
+        with pytest.raises(ValueError):
+            lb.rebalance([1.0], [5], 2)
+
+    @pytest.mark.parametrize("lb", STRATEGIES + [NullLB()])
+    def test_deterministic(self, lb):
+        loads = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        mapping = [0, 0, 0, 0, 1, 1, 1, 1]
+        a = lb.rebalance(loads, mapping, 2)
+        b = lb.rebalance(loads, mapping, 2)
+        assert a == b
+
+
+class TestNullLB:
+    def test_identity(self):
+        mapping = [0, 1, 0, 1]
+        assert NullLB().rebalance([9, 1, 9, 1], mapping, 2) == mapping
+
+
+class TestGreedyLB:
+    def test_near_optimal_balance(self):
+        """Full reassignment: equal loads spread perfectly."""
+        loads = [1.0] * 8
+        new = GreedyLB().rebalance(loads, [0] * 8, 4)
+        counts = np.bincount(new, minlength=4)
+        assert counts.tolist() == [2, 2, 2, 2]
+
+    def test_heaviest_spread_first(self):
+        loads = [8.0, 7.0, 1.0, 1.0]
+        new = GreedyLB().rebalance(loads, [0, 0, 0, 0], 2)
+        # The two heavy VPs must land on different cores.
+        assert new[0] != new[1]
+
+    def test_ignores_current_placement(self):
+        """GreedyLB migrates even already-balanced layouts (its signature
+        weakness: maximal churn)."""
+        loads = [4.0, 3.0, 2.0, 1.0]
+        mapping = [1, 0, 0, 1]  # already perfectly balanced (5/5)
+        new = GreedyLB().rebalance(loads, mapping, 2)
+        per_core = _core_loads(loads, new, 2)
+        assert max(per_core) == 5.0  # still balanced...
+        assert new != mapping  # ...but it reshuffled anyway
+
+
+class TestGreedyTransferLB:
+    def test_moves_off_most_loaded_core(self):
+        loads = [5.0, 5.0, 5.0, 5.0]
+        mapping = [0, 0, 0, 0]
+        new = GreedyTransferLB().rebalance(loads, mapping, 4)
+        per_core = _core_loads(loads, new, 4)
+        assert max(per_core) < 20.0
+
+    def test_keeps_balanced_layout_intact(self):
+        """Unlike GreedyLB, the transfer strategy does not churn."""
+        loads = [4.0, 3.0, 2.0, 1.0]
+        mapping = [1, 0, 0, 1]
+        assert GreedyTransferLB().rebalance(loads, mapping, 2) == mapping
+
+    def test_move_budget_limits_migrations(self):
+        loads = [1.0] * 100
+        mapping = [0] * 100
+        lb = GreedyTransferLB(max_moves_fraction=0.05)
+        new = lb.rebalance(loads, mapping, 10)
+        moved = sum(a != b for a, b in zip(mapping, new))
+        assert moved <= 5
+
+
+class TestRefineLB:
+    def test_trims_overloaded_core_only(self):
+        loads = [6.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        mapping = [0, 0, 0, 1, 1, 1]  # core0: 8, core1: 3
+        new = RefineLB().rebalance(loads, mapping, 2)
+        per_core = _core_loads(loads, new, 2)
+        assert max(per_core) < 8.0
+        # The big VP stays put; light ones moved.
+        assert new[0] == 0
+
+    def test_no_action_when_within_tolerance(self):
+        loads = [1.0, 1.0, 1.0, 1.0]
+        mapping = [0, 0, 1, 1]
+        assert RefineLB().rebalance(loads, mapping, 2) == mapping

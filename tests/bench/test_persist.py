@@ -1,0 +1,74 @@
+"""Tests for benchmark record persistence and comparison."""
+
+import pytest
+
+from repro.ampi.loadbalancer import GreedyLB
+from repro.bench.persist import (
+    SCHEMA_VERSION,
+    compare_records,
+    load_records,
+    record_key,
+    save_records,
+)
+from repro.bench.runner import RunRecord
+
+
+def rec(impl="mpi-2d", cores=4, sim_time=1.0, **params):
+    return RunRecord(
+        figure="f", implementation=impl, cores=cores, sim_time=sim_time,
+        wall_time=0.1, verified=True, max_particles_per_core=10,
+        ideal_particles_per_core=5.0, messages_sent=3, bytes_sent=100,
+        params=params,
+    )
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        records = [rec(), rec(impl="ampi", cores=8, sim_time=0.5, F=25)]
+        path = save_records(records, tmp_path / "out.json")
+        loaded = load_records(path)
+        assert len(loaded) == 2
+        assert loaded[1].implementation == "ampi"
+        assert loaded[1].params == {"F": 25}
+        assert loaded[0].sim_time == 1.0
+
+    def test_strategy_objects_serialized_by_name(self, tmp_path):
+        records = [rec(strategy=GreedyLB())]
+        path = save_records(records, tmp_path / "s.json")
+        loaded = load_records(path)
+        assert loaded[0].params["strategy"] == "GreedyLB"
+
+    def test_schema_guard(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 999, "records": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_records(path)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_records([rec()], tmp_path / "a" / "b" / "c.json")
+        assert path.exists()
+
+
+class TestCompare:
+    def test_identical_runs_report_nothing(self):
+        a = [rec(), rec(cores=8)]
+        b = [rec(), rec(cores=8)]
+        assert compare_records(a, b) == []
+
+    def test_time_change_reported(self):
+        diffs = compare_records([rec(sim_time=1.0)], [rec(sim_time=1.1)])
+        assert len(diffs) == 1
+        assert "+10.00%" in diffs[0]
+
+    def test_tolerance_suppresses_noise(self):
+        diffs = compare_records(
+            [rec(sim_time=1.0)], [rec(sim_time=1.0001)], rel_tolerance=1e-3
+        )
+        assert diffs == []
+
+    def test_missing_points_reported(self):
+        diffs = compare_records([rec()], [rec(), rec(cores=16)])
+        assert any("only in new" in d for d in diffs)
+
+    def test_key_distinguishes_params(self):
+        assert record_key(rec(F=1)) != record_key(rec(F=2))

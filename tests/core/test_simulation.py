@@ -1,0 +1,124 @@
+"""End-to-end tests of the serial reference simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import SerialSimulation, run_serial, serial_work_profile
+from repro.core.spec import Distribution, InjectionEvent, PICSpec, Region, RemovalEvent
+
+
+class TestSerialRuns:
+    @pytest.mark.parametrize(
+        "dist,extra",
+        [
+            (Distribution.GEOMETRIC, dict(r=0.95)),
+            (Distribution.GEOMETRIC, dict(r=1.0)),
+            (Distribution.SINUSOIDAL, {}),
+            (Distribution.LINEAR, dict(alpha=1.0, beta=3.0)),
+            (Distribution.UNIFORM, {}),
+            (Distribution.PATCH, dict(patch=Region(4, 12, 4, 12))),
+        ],
+    )
+    def test_all_distributions_verify(self, dist, extra):
+        spec = PICSpec(
+            cells=32, n_particles=500, steps=25, distribution=dist, **extra
+        )
+        result = run_serial(spec)
+        assert result.verification.ok, str(result.verification)
+
+    @pytest.mark.parametrize("k", [0, 1, 3])
+    @pytest.mark.parametrize("m", [0, 1, 2])
+    def test_speed_knobs_verify(self, k, m):
+        spec = PICSpec(cells=64, n_particles=200, steps=30, k=k, m_vertical=m)
+        result = run_serial(spec)
+        assert result.verification.ok
+
+    def test_particle_pushes_accumulates_work(self):
+        spec = PICSpec(cells=16, n_particles=100, steps=10,
+                       distribution=Distribution.UNIFORM)
+        result = run_serial(spec)
+        assert result.particle_pushes == 1000
+
+    def test_injection_event_verifies(self):
+        spec = PICSpec(
+            cells=32, n_particles=300, steps=40,
+            distribution=Distribution.UNIFORM,
+            events=(InjectionEvent(step=10, region=Region(0, 8, 0, 8), count=150),),
+        )
+        result = run_serial(spec)
+        assert result.verification.ok
+        assert result.verification.n_particles == 450
+
+    def test_removal_event_verifies(self):
+        spec = PICSpec(
+            cells=32, n_particles=300, steps=40,
+            distribution=Distribution.UNIFORM,
+            events=(RemovalEvent(step=10, region=Region(0, 16, 0, 32)),),
+        )
+        result = run_serial(spec)
+        assert result.verification.ok
+        assert result.verification.n_particles < 300
+        assert result.removed_ids_sum > 0
+
+    def test_injection_and_removal_combined(self):
+        spec = PICSpec(
+            cells=32, n_particles=200, steps=30,
+            distribution=Distribution.UNIFORM,
+            events=(
+                InjectionEvent(step=5, region=Region(0, 8, 0, 8), count=100),
+                RemovalEvent(step=15, region=Region(8, 24, 0, 32), fraction=0.5),
+                InjectionEvent(step=20, region=Region(24, 32, 24, 32), count=50),
+            ),
+        )
+        result = run_serial(spec)
+        assert result.verification.ok
+
+    def test_event_on_step_zero(self):
+        spec = PICSpec(
+            cells=32, n_particles=100, steps=10,
+            distribution=Distribution.UNIFORM,
+            events=(InjectionEvent(step=0, region=Region(0, 4, 0, 4), count=50),),
+        )
+        result = run_serial(spec)
+        assert result.verification.ok
+        # Injected at step 0 => participates in all steps.
+        assert result.verification.n_particles == 150
+
+    def test_rotate90_verifies(self):
+        spec = PICSpec(cells=32, n_particles=400, steps=20, r=0.9, rotate90=True)
+        assert run_serial(spec).verification.ok
+
+    def test_noninteger_h_and_dt_verify(self):
+        spec = PICSpec(cells=32, n_particles=200, steps=20, h=0.5, dt=0.25)
+        result = run_serial(spec)
+        assert result.verification.ok
+
+    def test_geometric_aggressive_skew_verifies(self):
+        spec = PICSpec(cells=64, n_particles=1000, steps=15, r=0.5)
+        assert run_serial(spec).verification.ok
+
+
+class TestWorkProfile:
+    def test_profile_matches_distribution(self):
+        spec = PICSpec(cells=16, n_particles=1600, steps=1,
+                       distribution=Distribution.UNIFORM)
+        profile = serial_work_profile(spec)
+        assert profile.sum() == 1600
+        assert profile.min() == profile.max()
+
+    def test_profile_geometric_skew(self):
+        spec = PICSpec(cells=16, n_particles=10000, steps=1, r=0.7)
+        profile = serial_work_profile(spec)
+        assert profile[0] == profile.max()
+
+
+class TestStepGranularity:
+    def test_manual_stepping_equals_run(self):
+        spec = PICSpec(cells=16, n_particles=50, steps=5,
+                       distribution=Distribution.UNIFORM)
+        sim = SerialSimulation(spec)
+        for t in range(spec.steps):
+            sim.step(t)
+        result_manual = sim.particles.x.copy()
+        result_run = run_serial(spec).particles.x
+        np.testing.assert_array_equal(result_manual, result_run)

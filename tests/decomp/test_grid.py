@@ -1,0 +1,53 @@
+"""Tests for processor-grid factorization."""
+
+import pytest
+
+from repro.decomp.grid import factor_2d, grid_fits_mesh
+
+
+class TestFactor2D:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [
+            (1, (1, 1)),
+            (2, (2, 1)),
+            (4, (2, 2)),
+            (6, (3, 2)),
+            (12, (4, 3)),
+            (24, (6, 4)),
+            (48, (8, 6)),
+            (192, (16, 12)),
+            (384, (24, 16)),
+            (3072, (64, 48)),
+            (7, (7, 1)),  # prime -> 1D column decomposition
+        ],
+    )
+    def test_known_factorizations(self, p, expected):
+        assert factor_2d(p) == expected
+
+    def test_product_invariant(self):
+        for p in range(1, 200):
+            px, py = factor_2d(p)
+            assert px * py == p
+            assert px >= py >= 1
+
+    def test_near_square(self):
+        """No other factorization is closer to square."""
+        for p in (12, 36, 60, 96):
+            px, py = factor_2d(p)
+            best = min(
+                abs(a - p // a) for a in range(1, p + 1) if p % a == 0
+            )
+            assert abs(px - py) == best
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            factor_2d(0)
+
+
+class TestGridFitsMesh:
+    def test_fits(self):
+        assert grid_fits_mesh(100, 10, 5)
+
+    def test_too_many_columns(self):
+        assert not grid_fits_mesh(4, 5, 1)

@@ -1,0 +1,91 @@
+"""Behavioural tests specific to the AMPI implementation."""
+
+import numpy as np
+import pytest
+
+from repro.ampi.loadbalancer import GreedyLB, HintedTransferLB, NullLB, VpTopology, locality_score
+from repro.core.spec import Distribution, PICSpec
+from repro.decomp.grid import factor_2d
+from repro.parallel import AmpiPIC
+
+
+def spec(**kw):
+    cfg = dict(cells=48, n_particles=2000, steps=20, r=0.9)
+    cfg.update(kw)
+    return PICSpec(**cfg)
+
+
+class TestVpMechanics:
+    def test_vp_count_and_initial_mapping(self):
+        impl = AmpiPIC(spec(), 6, overdecomposition=4)
+        assert impl.n_ranks == 24
+        mapping = impl.initial_rank_to_core()
+        # Contiguous blocks: each core hosts exactly d consecutive VPs.
+        counts = np.bincount(mapping, minlength=6)
+        assert counts.tolist() == [4] * 6
+        assert mapping == sorted(mapping)
+
+    def test_initial_mapping_is_compact(self):
+        impl = AmpiPIC(spec(), 6, overdecomposition=4)
+        topo = VpTopology(factor_2d(24))
+        # Contiguous VP blocks form stripes: every y-neighbor pair is
+        # co-located (score exactly 0.5 on a (6,4) grid with d=4); any
+        # scattered mapping scores strictly less.
+        assert locality_score(impl.initial_rank_to_core(), topo) >= 0.5
+
+    def test_d1_equals_plain_mpi_rank_count(self):
+        impl = AmpiPIC(spec(), 8, overdecomposition=1)
+        assert impl.n_ranks == 8
+
+    def test_per_step_overhead_costs_time(self):
+        """With NullLB, higher d only adds VP scheduling/message overhead."""
+        uniform = spec(distribution=Distribution.UNIFORM)
+        t1 = AmpiPIC(uniform, 4, overdecomposition=1, lb_interval=1000,
+                     strategy=NullLB()).run().total_time
+        t4 = AmpiPIC(uniform, 4, overdecomposition=4, lb_interval=1000,
+                     strategy=NullLB()).run().total_time
+        assert t4 > t1
+
+    def test_greedylb_fragments_the_mapping(self):
+        """Full greedy reassignment destroys the compact initial layout."""
+        impl = AmpiPIC(spec(steps=30), 6, overdecomposition=4,
+                       lb_interval=10, strategy=GreedyLB())
+        res = impl.run()
+        assert res.verification.ok
+        topo = VpTopology(factor_2d(24))
+        initial = locality_score(impl.initial_rank_to_core(), topo)
+        final = locality_score(res.final_rank_to_core, topo)
+        assert final < initial
+
+    def test_hinted_preserves_more_locality_end_to_end(self):
+        kwargs = dict(overdecomposition=4, lb_interval=10)
+        topo = VpTopology(factor_2d(24))
+        greedy = AmpiPIC(spec(steps=30), 6, strategy=GreedyLB(), **kwargs).run()
+        hinted = AmpiPIC(spec(steps=30), 6, strategy=HintedTransferLB(), **kwargs).run()
+        assert hinted.verification.ok and greedy.verification.ok
+        assert locality_score(hinted.final_rank_to_core, topo) >= locality_score(
+            greedy.final_rank_to_core, topo
+        )
+
+    def test_nulllb_never_changes_mapping(self):
+        impl = AmpiPIC(spec(steps=15), 4, overdecomposition=4,
+                       lb_interval=5, strategy=NullLB())
+        res = impl.run()
+        assert res.final_rank_to_core == impl.initial_rank_to_core()
+
+    def test_particles_per_core_sums_vps(self):
+        res = AmpiPIC(spec(), 4, overdecomposition=4, lb_interval=1000,
+                      strategy=NullLB()).run()
+        assert sum(res.particles_per_core.values()) == 2000
+        assert set(res.particles_per_core) <= set(range(4))
+
+    def test_events_with_migration(self):
+        from repro.core.spec import InjectionEvent, Region
+
+        s = spec(
+            steps=25,
+            events=(InjectionEvent(step=8, region=Region(0, 8, 0, 8), count=500),),
+        )
+        res = AmpiPIC(s, 6, overdecomposition=4, lb_interval=5).run()
+        assert res.verification.ok
+        assert res.verification.n_particles == 2500

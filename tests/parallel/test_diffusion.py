@@ -1,0 +1,93 @@
+"""Unit tests for the diffusion LB decision function (§IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.diffusion import default_threshold, diffuse_splits, imbalance_ratio
+
+
+class TestDiffuseSplits:
+    def test_balanced_loads_do_nothing(self):
+        splits = np.array([0, 4, 8, 12, 16])
+        out = diffuse_splits(np.array([10, 10, 10, 10]), splits, threshold=1, width=1)
+        np.testing.assert_array_equal(out, splits)
+
+    def test_left_heavy_donates_to_right(self):
+        splits = np.array([0, 8, 16])
+        out = diffuse_splits(np.array([100, 0]), splits, threshold=10, width=2)
+        np.testing.assert_array_equal(out, [0, 6, 16])
+
+    def test_right_heavy_donates_to_left(self):
+        splits = np.array([0, 8, 16])
+        out = diffuse_splits(np.array([0, 100]), splits, threshold=10, width=2)
+        np.testing.assert_array_equal(out, [0, 10, 16])
+
+    def test_threshold_gates_movement(self):
+        splits = np.array([0, 8, 16])
+        out = diffuse_splits(np.array([55, 45]), splits, threshold=20, width=1)
+        np.testing.assert_array_equal(out, splits)
+
+    def test_min_width_respected(self):
+        splits = np.array([0, 2, 16])
+        out = diffuse_splits(np.array([100, 0]), splits, threshold=1, width=5, min_width=1)
+        # Left block has width 2; it can donate at most 1 column.
+        np.testing.assert_array_equal(out, [0, 1, 16])
+
+    def test_never_creates_empty_block(self):
+        splits = np.array([0, 1, 16])
+        out = diffuse_splits(np.array([100, 0]), splits, threshold=1, width=3)
+        assert np.all(np.diff(out) >= 1)
+        np.testing.assert_array_equal(out, splits)
+
+    def test_endpoints_fixed(self):
+        splits = np.array([0, 5, 10, 16])
+        out = diffuse_splits(np.array([0, 0, 100]), splits, threshold=1, width=2)
+        assert out[0] == 0 and out[-1] == 16
+
+    def test_interior_boundaries_move_independently(self):
+        splits = np.array([0, 4, 8, 12, 16])
+        loads = np.array([100, 0, 0, 100])
+        out = diffuse_splits(loads, splits, threshold=10, width=1)
+        np.testing.assert_array_equal(out, [0, 3, 8, 13, 16])
+
+    def test_repeated_application_converges(self):
+        """Iterating diffusion on a static skewed profile balances columns."""
+        cells = 64
+        profile = np.zeros(cells)
+        profile[:8] = 100.0  # all the load in the first 8 columns
+        splits = np.array([0, 16, 32, 48, 64])
+
+        def loads_for(splits):
+            return np.add.reduceat(profile, splits[:-1])
+
+        for _ in range(200):
+            splits = diffuse_splits(loads_for(splits), splits, threshold=40, width=1)
+        assert imbalance_ratio(loads_for(splits)) < 2.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="splits"):
+            diffuse_splits(np.array([1, 2]), np.array([0, 16]), 1, 1)
+
+    def test_bad_parameters_rejected(self):
+        splits = np.array([0, 8, 16])
+        loads = np.array([1, 2])
+        with pytest.raises(ValueError):
+            diffuse_splits(loads, splits, threshold=-1, width=1)
+        with pytest.raises(ValueError):
+            diffuse_splits(loads, splits, threshold=1, width=0)
+        with pytest.raises(ValueError):
+            diffuse_splits(loads, splits, threshold=1, width=1, min_width=0)
+
+
+class TestHelpers:
+    def test_default_threshold(self):
+        assert default_threshold(1000, 10, fraction=0.1) == pytest.approx(10.0)
+
+    def test_default_threshold_bad_blocks(self):
+        with pytest.raises(ValueError):
+            default_threshold(100, 0)
+
+    def test_imbalance_ratio(self):
+        assert imbalance_ratio(np.array([1, 1, 1, 1])) == 1.0
+        assert imbalance_ratio(np.array([4, 0, 0, 0])) == 4.0
+        assert imbalance_ratio(np.array([0, 0])) == 1.0

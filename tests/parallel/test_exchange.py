@@ -1,0 +1,120 @@
+"""Unit tests for the multi-hop particle exchange protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.mesh import Mesh
+from repro.core.particles import ParticleArray
+from repro.decomp.partition import BlockPartition
+from repro.parallel.base import exchange_particles
+from repro.runtime import run_spmd
+from repro.runtime.costmodel import CostModel
+
+
+def make_particles(xs, ys, pids):
+    p = ParticleArray.empty(len(xs))
+    p.x[:] = xs
+    p.y[:] = ys
+    p.pid[:] = pids
+    return p
+
+
+def run_exchange(cells, dims, placed):
+    """Run one exchange over a dims cart; ``placed[rank]`` = initial set.
+
+    Returns {rank: sorted pids after exchange}.
+    """
+    mesh = Mesh(cells)
+    part = BlockPartition.uniform(cells, *dims)
+    cost = CostModel()
+    n = dims[0] * dims[1]
+
+    def prog(comm):
+        cart = yield comm.create_cart(dims)
+        mine = placed.get(cart.rank, ParticleArray.empty(0))
+        mine = yield from exchange_particles(comm, cart, part, mesh, mine, cost)
+        return sorted(mine.pid.tolist())
+
+    res = run_spmd(n, prog)
+    return dict(enumerate(res.returns))
+
+
+class TestExchange:
+    def test_single_rank_noop(self):
+        p = make_particles([1.5, 3.5], [0.5, 2.5], [1, 2])
+        out = run_exchange(8, (1, 1), {0: p})
+        assert out[0] == [1, 2]
+
+    def test_settled_particles_stay(self):
+        # 2x1: rank 0 owns x in [0,4), rank 1 owns [4,8).
+        out = run_exchange(
+            8, (2, 1),
+            {0: make_particles([1.5], [0.5], [1]),
+             1: make_particles([5.5], [0.5], [2])},
+        )
+        assert out == {0: [1], 1: [2]}
+
+    def test_one_hop_right(self):
+        out = run_exchange(
+            8, (2, 1),
+            {0: make_particles([5.5], [0.5], [7])},  # belongs to rank 1
+        )
+        assert out == {0: [], 1: [7]}
+
+    def test_wraparound_shorter_direction(self):
+        # 4x1: a particle on rank 3 belonging to rank 0 goes forward (one
+        # hop right with periodic wrap), not three hops left.
+        out = run_exchange(
+            16, (4, 1),
+            {3: make_particles([1.5], [0.5], [9])},
+        )
+        assert out[0] == [9]
+
+    def test_multi_hop_distant_destination(self):
+        # 8x1 over 16 cells: blocks are 2 wide.  A particle 3 blocks away
+        # needs 3 forwarding rounds.
+        out = run_exchange(
+            16, (8, 1),
+            {0: make_particles([7.5], [0.5], [5])},  # block 3
+        )
+        assert out[3] == [5]
+        assert all(out[r] == [] for r in out if r != 3)
+
+    def test_diagonal_move_resolves_in_one_iteration(self):
+        # 2x2 over 8 cells: particle on rank 0 (x<4, y<4) belongs to rank 3
+        # (x>=4, y>=4): x-phase then y-phase of the same iteration.
+        out = run_exchange(
+            8, (2, 2),
+            {0: make_particles([6.5], [6.5], [4])},
+        )
+        assert out[3] == [4]
+
+    def test_vertical_only_move(self):
+        out = run_exchange(
+            8, (1, 2),
+            {0: make_particles([0.5], [6.5], [2])},
+        )
+        assert out[1] == [2]
+
+    def test_many_particles_all_directions(self):
+        cells, dims = 16, (4, 4)
+        mesh = Mesh(cells)
+        part = BlockPartition.uniform(cells, *dims)
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(0, 16, size=64)
+        ys = rng.uniform(0, 16, size=64)
+        all_p = make_particles(xs, ys, np.arange(1, 65))
+        # Dump everything on rank 5; exchange must scatter it correctly.
+        out = run_exchange(cells, dims, {5: all_p})
+        owners = part.owner_rank(mesh.cell_of(xs), mesh.cell_of(ys))
+        for rank in range(16):
+            expected = sorted((np.arange(1, 65)[owners == rank]).tolist())
+            assert out[rank] == expected
+
+    def test_conservation_under_exchange(self):
+        out = run_exchange(
+            16, (4, 2),
+            {r: make_particles([r * 2 + 0.5], [0.5], [r + 1]) for r in range(8)},
+        )
+        got = sorted(pid for pids in out.values() for pid in pids)
+        assert got == list(range(1, 9))

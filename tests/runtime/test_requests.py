@@ -1,0 +1,100 @@
+"""Tests for nonblocking requests (isend/irecv/wait/waitall)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import run_spmd
+from repro.runtime.errors import DeadlockError
+
+
+class TestNonblocking:
+    def test_isend_completes_immediately(self):
+        def prog(comm):
+            if comm.rank == 0:
+                op, req = comm.isend("data", dst=1, tag=3)
+                yield op
+                assert req.done
+                got = yield comm.wait(req)  # free for sends
+                return got
+            got = yield comm.recv(src=0, tag=3)
+            return got
+
+        res = run_spmd(2, prog)
+        assert res.returns == ["data", "data"]
+
+    def test_irecv_wait_roundtrip(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(np.arange(4), dst=1, tag=1)
+                return None
+            req = comm.irecv(src=0, tag=1)
+            data = yield comm.wait(req)
+            return data.tolist()
+
+        res = run_spmd(2, prog)
+        assert res.returns[1] == [0, 1, 2, 3]
+
+    def test_post_all_then_waitall(self):
+        """The classic PIC pattern: post receives, compute, wait all."""
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            r1 = comm.irecv(src=left, tag=10)
+            r2 = comm.irecv(src=right, tag=11)
+            yield comm.send(comm.rank, dst=right, tag=10)
+            yield comm.send(comm.rank * 100, dst=left, tag=11)
+            yield comm.compute(0.001)  # overlapping "work"
+            got = yield from comm.waitall([r1, r2])
+            return got
+
+        res = run_spmd(4, prog)
+        assert res.returns[0] == [3, 100]
+        assert res.returns[2] == [1, 300]
+
+    def test_same_stream_requests_complete_in_wait_order(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(3):
+                    yield comm.send(i, dst=1, tag=5)
+                return None
+            reqs = [comm.irecv(src=0, tag=5) for _ in range(3)]
+            got = yield from comm.waitall(reqs)
+            return got
+
+        res = run_spmd(2, prog)
+        assert res.returns[1] == [0, 1, 2]
+
+    def test_wait_blocks_until_message_arrives(self):
+        def prog(comm):
+            if comm.rank == 1:
+                req = comm.irecv(src=0, tag=0)
+                got = yield comm.wait(req)
+                return (got, comm.wtime())
+            yield comm.compute(0.05)
+            yield comm.send("late", dst=0 + 1, tag=0)
+            return None
+
+        res = run_spmd(2, prog)
+        got, t = res.returns[1]
+        assert got == "late"
+        assert t >= 0.05
+
+    def test_wait_on_foreign_comm_rejected(self):
+        def prog(comm):
+            sub = yield comm.split(color=0)
+            req = sub.irecv(src=sub.rank, tag=0)  # will match a self-send
+            with pytest.raises(ValueError, match="different communicator"):
+                comm.wait(req)
+            yield sub.send("x", dst=sub.rank, tag=0)
+            got = yield sub.wait(req)
+            return got == "x"
+
+        assert all(run_spmd(2, prog).returns)
+
+    def test_unmatched_irecv_wait_deadlocks(self):
+        def prog(comm):
+            req = comm.irecv(src=(comm.rank + 1) % comm.size, tag=9)
+            yield comm.wait(req)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(2, prog)

@@ -1,0 +1,85 @@
+"""Direct unit tests for the message transport and matching rules."""
+
+import pytest
+
+from repro.runtime.message import Message
+from repro.runtime.transport import ANY_SOURCE, ANY_TAG, Transport
+
+
+def msg(transport, comm_id=0, src=0, tag=0, payload="x", nbytes=8):
+    return Message(
+        comm_id=comm_id, src=src, tag=tag, payload=payload,
+        nbytes=nbytes, t_avail=0.0, seq=transport.next_seq(),
+    )
+
+
+class TestTransport:
+    def test_requires_ranks(self):
+        with pytest.raises(ValueError):
+            Transport(0)
+
+    def test_deliver_and_match(self):
+        t = Transport(2)
+        t.deliver(1, msg(t, src=0, tag=5, payload="hello"))
+        got = t.match(1, comm_id=0, src=0, tag=5)
+        assert got.payload == "hello"
+        assert t.pending_count(1) == 0
+
+    def test_no_match_returns_none(self):
+        t = Transport(2)
+        t.deliver(1, msg(t, src=0, tag=5))
+        assert t.match(1, comm_id=0, src=0, tag=6) is None
+        assert t.match(1, comm_id=0, src=1, tag=5) is None
+        assert t.match(1, comm_id=7, src=0, tag=5) is None
+        assert t.pending_count(1) == 1
+
+    def test_wildcard_source(self):
+        t = Transport(3)
+        t.deliver(2, msg(t, src=1, tag=9))
+        got = t.match(2, comm_id=0, src=ANY_SOURCE, tag=9)
+        assert got.src == 1
+
+    def test_wildcard_tag(self):
+        t = Transport(2)
+        t.deliver(1, msg(t, src=0, tag=42))
+        got = t.match(1, comm_id=0, src=0, tag=ANY_TAG)
+        assert got.tag == 42
+
+    def test_fifo_within_stream(self):
+        t = Transport(2)
+        t.deliver(1, msg(t, src=0, tag=1, payload="first"))
+        t.deliver(1, msg(t, src=0, tag=1, payload="second"))
+        assert t.match(1, 0, 0, 1).payload == "first"
+        assert t.match(1, 0, 0, 1).payload == "second"
+
+    def test_tag_selection_skips_earlier_nonmatching(self):
+        t = Transport(2)
+        t.deliver(1, msg(t, src=0, tag=1, payload="a"))
+        t.deliver(1, msg(t, src=0, tag=2, payload="b"))
+        assert t.match(1, 0, 0, 2).payload == "b"
+        assert t.match(1, 0, 0, 1).payload == "a"
+
+    def test_comm_scoping(self):
+        t = Transport(2)
+        t.deliver(1, msg(t, comm_id=3, src=0, tag=0, payload="subcomm"))
+        t.deliver(1, msg(t, comm_id=0, src=0, tag=0, payload="world"))
+        assert t.match(1, comm_id=0, src=0, tag=0).payload == "world"
+        assert t.match(1, comm_id=3, src=0, tag=0).payload == "subcomm"
+
+    def test_statistics(self):
+        t = Transport(2)
+        t.deliver(1, msg(t, nbytes=100))
+        t.deliver(0, msg(t, nbytes=50))
+        assert t.messages_sent == 2
+        assert t.bytes_sent == 150
+        assert t.total_pending() == 2
+
+    def test_describe_pending(self):
+        t = Transport(2)
+        assert "no pending" in t.describe_pending()
+        t.deliver(1, msg(t, src=0, tag=7))
+        assert "dst=1" in t.describe_pending()
+
+    def test_seq_monotone(self):
+        t = Transport(1)
+        assert t.next_seq() < t.next_seq() < t.next_seq()

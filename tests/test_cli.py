@@ -1,0 +1,79 @@
+"""Tests for the pic-prk command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_serial_defaults(self):
+        args = build_parser().parse_args(["serial"])
+        assert args.cells == 128
+        assert args.dist == "geometric"
+
+    def test_run_impl_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--impl", "bogus"])
+
+
+class TestCommands:
+    def test_serial_runs_and_verifies(self, capsys):
+        rc = main(["serial", "--cells", "32", "--particles", "200", "--steps", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+
+    def test_serial_all_distributions(self, capsys):
+        for dist in ("uniform", "sinusoidal", "linear"):
+            rc = main([
+                "serial", "--cells", "32", "--particles", "100",
+                "--steps", "3", "--dist", dist,
+            ])
+            assert rc == 0
+
+    def test_serial_patch_distribution(self, capsys):
+        rc = main([
+            "serial", "--cells", "32", "--particles", "100", "--steps", "3",
+            "--dist", "patch", "--patch", "4", "12", "4", "12",
+        ])
+        assert rc == 0
+
+    @pytest.mark.parametrize("impl", ["mpi-2d", "mpi-2d-LB", "ampi"])
+    def test_run_each_implementation(self, impl, capsys):
+        rc = main([
+            "run", "--impl", impl, "--cores", "4",
+            "--cells", "32", "--particles", "400", "--steps", "8",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert impl in out
+        assert "PASS" in out
+
+    def test_trace_renders_timeline(self, capsys):
+        rc = main([
+            "trace", "--impl", "mpi-2d", "--cores", "4",
+            "--cells", "32", "--particles", "400", "--steps", "8",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "imbalance" in out
+
+    def test_run_with_knobs(self, capsys):
+        rc = main([
+            "run", "--impl", "mpi-2d-LB", "--cores", "6",
+            "--cells", "48", "--particles", "600", "--steps", "12",
+            "--lb-interval", "3", "--border-width", "2", "--axes", "xy",
+            "--k", "1", "--m", "1",
+        ])
+        assert rc == 0
+
+    def test_rotate90_flag(self, capsys):
+        rc = main([
+            "serial", "--cells", "32", "--particles", "100", "--steps", "3",
+            "--rotate90",
+        ])
+        assert rc == 0

@@ -1,0 +1,99 @@
+"""Tests for the zero-perturbation instrumentation layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import Distribution, PICSpec
+from repro.instrument import LbEvent, TraceCollector, render_imbalance_timeline
+from repro.parallel import AmpiPIC, Mpi2dLbPIC, Mpi2dPIC
+
+
+def skewed_spec(steps=30):
+    return PICSpec(cells=64, n_particles=3000, steps=steps, r=0.92)
+
+
+class TestTraceCollector:
+    def test_empty(self):
+        tr = TraceCollector()
+        assert tr.steps == []
+        assert tr.n_ranks() == 0
+        assert tr.load_matrix().shape == (0, 0)
+        assert len(tr.imbalance_series()) == 0
+        assert render_imbalance_timeline(tr) == "(no samples)"
+
+    def test_record_and_matrices(self):
+        tr = TraceCollector()
+        tr.record(rank=0, step=0, n_particles=10, core=0)
+        tr.record(rank=1, step=0, n_particles=30, core=1)
+        tr.record(rank=0, step=1, n_particles=20, core=0)
+        tr.record(rank=1, step=1, n_particles=20, core=1)
+        m = tr.load_matrix()
+        assert m.tolist() == [[10, 30], [20, 20]]
+        series = tr.imbalance_series()
+        assert series[0] == pytest.approx(1.5)
+        assert series[1] == pytest.approx(1.0)
+
+    def test_core_aggregation_of_vps(self):
+        tr = TraceCollector()
+        # Two VPs on core 0, one on core 1.
+        tr.record(rank=0, step=0, n_particles=5, core=0)
+        tr.record(rank=1, step=0, n_particles=5, core=0)
+        tr.record(rank=2, step=0, n_particles=10, core=1)
+        cm = tr.core_load_matrix()
+        assert cm.tolist() == [[10, 10]]
+
+    def test_event_counters(self):
+        tr = TraceCollector()
+        tr.record_event(LbEvent(step=3, kind="migrate", moved=4))
+        tr.record_event(LbEvent(step=5, kind="diffusion", moved=2))
+        tr.record_event(LbEvent(step=9, kind="migrate", moved=1))
+        assert tr.migrations_total() == 5
+        assert tr.boundary_moves_total() == 2
+
+
+class TestTracedRuns:
+    def test_baseline_samples_every_step(self):
+        tr = TraceCollector()
+        spec = skewed_spec(steps=10)
+        res = Mpi2dPIC(spec, 4, tracer=tr).run()
+        assert res.verification.ok
+        assert tr.load_matrix().shape == (10, 4)
+        # Conservation holds in the trace too.
+        assert np.all(tr.load_matrix().sum(axis=1) == spec.n_particles)
+
+    def test_tracer_does_not_change_simulated_time(self):
+        spec = skewed_spec(steps=10)
+        plain = Mpi2dPIC(spec, 4).run()
+        traced = Mpi2dPIC(spec, 4, tracer=TraceCollector()).run()
+        assert plain.total_time == traced.total_time
+
+    def test_lb_reduces_traced_imbalance(self):
+        spec = skewed_spec(steps=40)
+        tr_base = TraceCollector()
+        Mpi2dPIC(spec, 8, tracer=tr_base).run()
+        tr_lb = TraceCollector()
+        Mpi2dLbPIC(spec, 8, tracer=tr_lb, lb_interval=2, border_width=2).run()
+        # Compare the tail (after LB had time to act).
+        tail = slice(20, None)
+        assert (
+            tr_lb.imbalance_series()[tail].mean()
+            < tr_base.imbalance_series()[tail].mean()
+        )
+
+    def test_diffusion_events_recorded(self):
+        tr = TraceCollector()
+        Mpi2dLbPIC(skewed_spec(), 8, tracer=tr, lb_interval=5, border_width=2).run()
+        assert tr.boundary_moves_total() > 0
+        assert all(e.kind == "diffusion" for e in tr.events)
+
+    def test_migration_events_recorded(self):
+        tr = TraceCollector()
+        AmpiPIC(skewed_spec(), 4, tracer=tr, overdecomposition=4, lb_interval=10).run()
+        assert tr.migrations_total() > 0
+
+    def test_timeline_renders_with_events(self):
+        tr = TraceCollector()
+        Mpi2dLbPIC(skewed_spec(), 8, tracer=tr, lb_interval=5, border_width=2).run()
+        out = render_imbalance_timeline(tr)
+        assert "LB event" in out
+        assert "imbalance" in out
