@@ -304,6 +304,39 @@ class HintedTransferLB:
         return new_mapping
 
 
+@dataclass(frozen=True)
+class MeteredLB:
+    """Decorator strategy: observes any inner balancer through a registry.
+
+    Delegates ``rebalance`` unchanged and records, per invocation, the
+    number of VPs moved and (when a topology hint is available) the
+    locality score of the resulting mapping.  Purely observational, so a
+    metered run is bit-identical to an unmetered one.  ``metrics`` is any
+    object with the :class:`repro.instrument.MetricsRegistry` interface
+    (duck-typed to avoid an import cycle).
+    """
+
+    inner: LoadBalancer
+    metrics: object
+
+    @property
+    def name(self) -> str:
+        return f"Metered({self.inner.name})"
+
+    def rebalance(self, loads, mapping, n_cores, topology=None):
+        new_mapping = self.inner.rebalance(
+            loads, mapping, n_cores, topology=topology
+        )
+        moved = sum(1 for old, new in zip(mapping, new_mapping) if old != new)
+        self.metrics.counter("lb.strategy_invocations").inc()
+        self.metrics.histogram("lb.moves_per_round").observe(moved)
+        if topology is not None:
+            self.metrics.gauge("lb.locality_score").set(
+                locality_score(new_mapping, topology)
+            )
+        return new_mapping
+
+
 def locality_score(mapping: Sequence[int], topology: VpTopology) -> float:
     """Fraction of VP neighbor pairs co-located on one core (1.0 = compact).
 

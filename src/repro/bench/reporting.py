@@ -90,6 +90,19 @@ def ascii_loglog(
     return "\n".join(lines)
 
 
+def format_metrics(metrics, title: str = "run metrics") -> str:
+    """Metrics-registry summary block for benchmark reports.
+
+    ``metrics`` is a :class:`repro.instrument.MetricsRegistry` populated by
+    a traced/metered run; the block lists every counter, gauge and
+    histogram in deterministic name order.
+    """
+    from repro.instrument import render_metrics_summary
+
+    body = render_metrics_summary(metrics)
+    return f"== {title} ==\n{body}"
+
+
 def speedup_table(
     records: Sequence[RunRecord], serial_time: float
 ) -> str:

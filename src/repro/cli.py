@@ -5,7 +5,13 @@ Subcommands::
     pic-prk serial  --cells 128 --particles 20000 --steps 100 --dist geometric --r 0.97
     pic-prk run     --impl mpi-2d-LB --cores 24 --cells 288 --particles 24000 --steps 150
     pic-prk trace   --impl ampi --cores 16 --steps 160            # imbalance timeline
+    pic-prk trace   --impl ampi --cores 16 --out traces/          # + trace.json etc.
     pic-prk figures fig5 fig6l fig6r fig7                         # regenerate figures
+
+``trace --out DIR`` additionally records fine-grained spans and metrics and
+writes ``trace.json`` (Chrome/Perfetto format — open at ui.perfetto.dev),
+``timeline.txt`` (plain-text per-rank span listing) and ``metrics.json``
+(every counter/gauge/histogram) into DIR; see docs/observability.md.
 
 (Equivalently: ``python -m repro.cli ...``.)  All runs end with the PRK's
 exact self-verification; a failing run exits non-zero.
@@ -14,12 +20,22 @@ exact self-verification; a failing run exits non-zero.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 from repro.core.simulation import run_serial
 from repro.core.spec import Distribution, PICSpec, Region
-from repro.instrument import TraceCollector, render_imbalance_timeline
+from repro.instrument import (
+    MetricsRegistry,
+    TraceCollector,
+    Tracer,
+    render_imbalance_timeline,
+    render_metrics_summary,
+    render_rank_timeline,
+    write_chrome_trace,
+    write_metrics,
+)
 from repro.parallel import AmpiPIC, Mpi2dLbPIC, Mpi2dPIC
 from repro.runtime.costmodel import CostModel
 from repro.runtime.machine import MachineModel
@@ -77,11 +93,14 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--ampi-interval", type=int, default=25)
 
 
-def _build_impl(args: argparse.Namespace, tracer=None):
+def _build_impl(args: argparse.Namespace, tracer=None, span_tracer=None, metrics=None):
     machine = MachineModel()
     cost = CostModel(machine=machine, particle_push_s=args.push_ns * 1e-9)
     spec = _spec_from(args)
-    common = dict(machine=machine, cost=cost, tracer=tracer)
+    common = dict(
+        machine=machine, cost=cost, tracer=tracer,
+        span_tracer=span_tracer, metrics=metrics,
+    )
     if args.impl == "mpi-2d":
         return Mpi2dPIC(spec, args.cores, **common)
     if args.impl == "mpi-2d-LB":
@@ -128,9 +147,25 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     tracer = TraceCollector()
-    impl = _build_impl(args, tracer=tracer)
+    spans = Tracer() if args.out else None
+    metrics = MetricsRegistry() if args.out else None
+    impl = _build_impl(args, tracer=tracer, span_tracer=spans, metrics=metrics)
     result = impl.run()
     print(render_imbalance_timeline(tracer))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        trace_path = os.path.join(args.out, "trace.json")
+        timeline_path = os.path.join(args.out, "timeline.txt")
+        metrics_path = os.path.join(args.out, "metrics.json")
+        write_chrome_trace(spans, trace_path)
+        with open(timeline_path, "w", encoding="utf-8") as fh:
+            fh.write(render_rank_timeline(spans))
+            fh.write("\n")
+        write_metrics(metrics, metrics_path)
+        print(render_metrics_summary(metrics))
+        print(f"wrote {trace_path} (open at https://ui.perfetto.dev)")
+        print(f"wrote {timeline_path}")
+        print(f"wrote {metrics_path}")
     print(result.verification)
     return 0 if result.verification.ok else 1
 
@@ -156,9 +191,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_args(p)
     p.set_defaults(fn=cmd_run)
 
-    p = sub.add_parser("trace", help="run with the imbalance tracer")
+    p = sub.add_parser(
+        "trace",
+        help="run with tracing: imbalance timeline, plus span trace + "
+        "metrics dumps with --out",
+    )
     _add_spec_args(p)
     _add_parallel_args(p)
+    p.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="also record spans + metrics and write trace.json "
+        "(Chrome/Perfetto), timeline.txt and metrics.json into DIR",
+    )
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")

@@ -1,24 +1,75 @@
-"""Zero-perturbation instrumentation of parallel runs.
+"""Observability subsystem: span tracing, metrics and exporters.
 
-Because every simulated rank executes inside one Python process, a trace
-collector can observe per-rank state each step *without* injecting any
-simulated communication — unlike a real MPI job, where gathering a load
-timeline would itself perturb the run.  The tracer records particle counts
-per rank per step (and load-balancing events), from which imbalance
-timelines and core-load matrices are derived.
+Three cooperating layers, all strictly *observational* — attaching any of
+them to a run changes no simulated time, message order or verification
+result (the golden-trace tests enforce this invariant):
+
+* :class:`Tracer` (``spans.py``) — receives named spans of simulated time
+  from the scheduler at every state transition (compute, send/recv,
+  blocked-on-message waits, collective waits and bodies) plus instant
+  events for VP migrations, keyed by ``(rank, core, step)``.
+* :class:`MetricsRegistry` (``metrics.py``) — counters, gauges and
+  histograms fed by the transport, communicators, parallel drivers and the
+  AMPI load balancer: messages sent, bytes moved, collectives by kind,
+  particles migrated, per-step imbalance ratio, core busy fraction.
+* Exporters (``export.py``) — Chrome/Perfetto ``trace.json``, a plain-text
+  per-rank timeline, and a metrics summary table consumed by
+  ``repro.bench.reporting``.
+
+The original coarse per-step load sampler (:class:`TraceCollector`) remains
+for imbalance timelines and figure generation.
 
 Usage::
 
-    from repro.instrument import TraceCollector
-    tracer = TraceCollector()
-    result = Mpi2dPIC(spec, 24, tracer=tracer).run()
-    print(render_imbalance_timeline(tracer))
+    from repro.instrument import MetricsRegistry, Tracer, write_chrome_trace
+    tracer, metrics = Tracer(), MetricsRegistry()
+    result = Mpi2dPIC(spec, 24, span_tracer=tracer, metrics=metrics).run()
+    write_chrome_trace(tracer, "trace.json")   # open in ui.perfetto.dev
+
+See ``docs/observability.md`` for the span model and metric names.
 """
 
+from repro.instrument.export import (
+    dumps_chrome_trace,
+    metrics_to_json,
+    render_metrics_summary,
+    render_rank_timeline,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.instrument.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.instrument.spans import (
+    CATEGORIES,
+    InstantEvent,
+    Span,
+    Tracer,
+    validate_spans,
+)
 from repro.instrument.trace import (
     LbEvent,
     TraceCollector,
     render_imbalance_timeline,
 )
 
-__all__ = ["LbEvent", "TraceCollector", "render_imbalance_timeline"]
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "LbEvent",
+    "MetricsRegistry",
+    "Span",
+    "TraceCollector",
+    "Tracer",
+    "dumps_chrome_trace",
+    "metrics_to_json",
+    "render_imbalance_timeline",
+    "render_metrics_summary",
+    "render_rank_timeline",
+    "to_chrome_trace",
+    "validate_spans",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,168 @@
+"""Counters, gauges and histograms for simulated runs.
+
+A :class:`MetricsRegistry` is threaded (optionally) through the scheduler,
+transport, communicators and the parallel drivers; each layer records what
+it knows — messages sent, bytes moved, collectives by kind, particles
+migrated, per-step imbalance ratios, core busy fractions — without ever
+touching simulated state.  Like the tracer, metrics are observational only:
+a run with a registry attached is bit-identical to one without.
+
+All instruments are deterministic: values derive solely from the simulated
+execution, and :meth:`MetricsRegistry.as_dict` emits them in sorted name
+order, so a metrics dump is as reproducible as the run itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+class Counter:
+    """Monotonically increasing count (messages sent, particles moved...)."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (final imbalance ratio, locality score...)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Keep the high-water mark (e.g. peak pending-message depth)."""
+        if self.value is None or value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Distribution of observations (rank times, per-step imbalance...).
+
+    Stores every observation — runs are small enough, and exact storage
+    keeps summaries deterministic and percentiles honest.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.values)
+        idx = min(len(ordered) - 1, max(0, math.ceil(q / 100.0 * len(ordered)) - 1))
+        return ordered[idx]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Name-addressed store of counters, gauges and histograms.
+
+    ``counter``/``gauge``/``histogram`` get-or-create by name; asking for an
+    existing name with a different kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._metrics.get(name)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Deterministic ``{name: {kind, value-or-summary}}`` mapping."""
+        out: dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {"kind": metric.kind, **metric.summary()}
+            else:
+                out[name] = {"kind": metric.kind, "value": metric.value}
+        return out

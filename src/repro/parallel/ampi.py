@@ -12,7 +12,12 @@ The two AMPI tunables of the paper's Fig. 5 are constructor arguments:
 
 from __future__ import annotations
 
-from repro.ampi.loadbalancer import GreedyTransferLB, LoadBalancer, VpTopology
+from repro.ampi.loadbalancer import (
+    GreedyTransferLB,
+    LoadBalancer,
+    MeteredLB,
+    VpTopology,
+)
 from repro.ampi.pup import vp_state_bytes
 from repro.ampi.runtime import DEFAULT_STATS_S_PER_VP, migrate
 from repro.parallel.base import ParallelPICBase
@@ -37,9 +42,12 @@ class AmpiPIC(ParallelPICBase):
         cost=None,
         dims=None,
         tracer=None,
+        span_tracer=None,
+        metrics=None,
     ):
         super().__init__(
-            spec, n_cores, machine=machine, cost=cost, dims=dims, tracer=tracer
+            spec, n_cores, machine=machine, cost=cost, dims=dims, tracer=tracer,
+            span_tracer=span_tracer, metrics=metrics,
         )
         if overdecomposition < 1:
             raise RuntimeConfigError("overdecomposition degree must be >= 1")
@@ -48,6 +56,9 @@ class AmpiPIC(ParallelPICBase):
         self.overdecomposition = overdecomposition
         self.lb_interval = lb_interval
         self.strategy = strategy if strategy is not None else GreedyTransferLB()
+        if self.metrics is not None:
+            # Observe strategy invocations, per-round moves and locality.
+            self.strategy = MeteredLB(self.strategy, self.metrics)
         self.stats_s_per_vp = stats_s_per_vp
 
     # ------------------------------------------------------------------
@@ -92,12 +103,16 @@ class AmpiPIC(ParallelPICBase):
             topology=VpTopology(cart.dims),
         )
         state.extra["migrations"] = state.extra.get("migrations", 0) + report.migrated
-        if self.tracer is not None and comm.rank == 0 and report.migrated:
-            from repro.instrument import LbEvent
+        if comm.rank == 0 and report.migrated:
+            if self.tracer is not None:
+                from repro.instrument import LbEvent
 
-            self.tracer.record_event(
-                LbEvent(step=t, kind="migrate", moved=report.migrated)
-            )
+                self.tracer.record_event(
+                    LbEvent(step=t, kind="migrate", moved=report.migrated)
+                )
+            if self.metrics is not None:
+                self.metrics.counter("lb.migrated_vps").inc(report.migrated)
+                self.metrics.counter("lb.migrated_bytes").inc(report.moved_bytes)
 
     @staticmethod
     def _my_subgrid_cells(cart, state) -> int:

@@ -110,6 +110,8 @@ class ParallelPICBase:
         cost: CostModel | None = None,
         dims: tuple[int, int] | None = None,
         tracer=None,
+        span_tracer=None,
+        metrics=None,
     ):
         if n_cores <= 0:
             raise RuntimeConfigError("need at least one core")
@@ -124,6 +126,12 @@ class ParallelPICBase:
         #: Optional :class:`repro.instrument.TraceCollector` — observes
         #: per-step loads without perturbing simulated time.
         self.tracer = tracer
+        #: Optional :class:`repro.instrument.Tracer` — receives fine-grained
+        #: spans (compute/comm/wait/collective) from the scheduler.
+        self.span_tracer = span_tracer
+        #: Optional :class:`repro.instrument.MetricsRegistry` — counters,
+        #: gauges and histograms fed by every layer of the run.
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Subclass surface
@@ -176,9 +184,18 @@ class ParallelPICBase:
             machine=self.machine,
             cost=self.cost,
             rank_to_core=self.initial_rank_to_core(),
+            tracer=self.span_tracer,
+            metrics=self.metrics,
         )
+        # Per-step load sampling backs both the explicit TraceCollector and
+        # the imbalance histogram of the metrics registry.
+        sampler = self.tracer
+        if sampler is None and self.metrics is not None:
+            from repro.instrument import TraceCollector
+
+            sampler = TraceCollector()
         programs = [
-            self._make_program(dims, partition0, locals0[r], injections)
+            self._make_program(dims, partition0, locals0[r], injections, sampler)
             for r in range(self.n_ranks)
         ]
         spmd = scheduler.run(programs)
@@ -188,6 +205,7 @@ class ParallelPICBase:
         for r, ret in enumerate(returns):
             core = scheduler.rank_to_core[r]
             per_core[core] = per_core.get(core, 0) + ret.final_particles
+        self._record_summary_metrics(spmd, scheduler, sampler, per_core)
         return ParallelResult(
             implementation=self.name,
             n_ranks=self.n_ranks,
@@ -202,6 +220,30 @@ class ParallelPICBase:
             particles_per_core=per_core,
             final_rank_to_core=list(scheduler.rank_to_core),
         )
+
+    def _record_summary_metrics(self, spmd, scheduler, sampler, per_core) -> None:
+        """Fill the registry's run-level gauges/histograms (observational)."""
+        m = self.metrics
+        if m is None:
+            return
+        m.gauge("run.total_time_s").set(spmd.total_time)
+        rank_time = m.histogram("run.rank_time_s")
+        for t in spmd.times:
+            rank_time.observe(t)
+        total = spmd.total_time
+        busy = m.histogram("core.busy_fraction")
+        for core in range(self.n_cores):
+            busy.observe(
+                scheduler.core_busy.get(core, 0.0) / total if total > 0 else 0.0
+            )
+        if per_core:
+            ideal = sum(per_core.values()) / self.n_cores
+            if ideal > 0:
+                m.gauge("run.imbalance_final").set(max(per_core.values()) / ideal)
+        if sampler is not None:
+            imbalance = m.histogram("step.imbalance_ratio")
+            for value in sampler.imbalance_series():
+                imbalance.observe(float(value))
 
     # ------------------------------------------------------------------
     # Initialization (decomposition-independent)
@@ -233,7 +275,7 @@ class ParallelPICBase:
     # ------------------------------------------------------------------
     # The SPMD program
     # ------------------------------------------------------------------
-    def _make_program(self, dims, partition0, local0, injections):
+    def _make_program(self, dims, partition0, local0, injections, sampler=None):
         spec = self.spec
         mesh = self.mesh
         cost = self.cost
@@ -245,6 +287,7 @@ class ParallelPICBase:
             yield from self.setup_hook(comm, cart, state)
 
             for t in range(spec.steps):
+                comm.annotate_step(t)
                 if ev.has_events_at(spec, t):
                     yield from self._apply_events(comm, cart, state, t, injections)
                 n_local = len(state.particles)
@@ -258,10 +301,8 @@ class ParallelPICBase:
                 yield from self.lb_hook(comm, cart, state, t)
                 if len(state.particles) > state.max_particles:
                     state.max_particles = len(state.particles)
-                if self.tracer is not None:
-                    self.tracer.record(
-                        cart.rank, t, len(state.particles), comm.core()
-                    )
+                if sampler is not None:
+                    sampler.record(cart.rank, t, len(state.particles), comm.core())
 
             return (yield from self._verify(comm, state))
 
@@ -283,6 +324,8 @@ class ParallelPICBase:
                 if len(mine):
                     state.particles = state.particles.append(mine)
                     moved += len(mine)
+                    if self.metrics is not None:
+                        self.metrics.counter("particles.injected").inc(len(mine))
             else:
                 mask = ev.removal_mask(event, mesh, state.particles)
                 n_gone = int(mask.sum())
@@ -292,6 +335,8 @@ class ParallelPICBase:
                     )
                     state.particles = state.particles.select(~mask)
                     moved += n_gone
+                    if self.metrics is not None:
+                        self.metrics.counter("particles.removed").inc(n_gone)
         if moved:
             yield comm.compute(cost.pack_time(moved))
 

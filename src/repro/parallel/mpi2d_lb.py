@@ -56,9 +56,12 @@ class Mpi2dLbPIC(ParallelPICBase):
         cost=None,
         dims=None,
         tracer=None,
+        span_tracer=None,
+        metrics=None,
     ):
         super().__init__(
-            spec, n_cores, machine=machine, cost=cost, dims=dims, tracer=tracer
+            spec, n_cores, machine=machine, cost=cost, dims=dims, tracer=tracer,
+            span_tracer=span_tracer, metrics=metrics,
         )
         if lb_interval < 1:
             raise RuntimeConfigError("lb_interval must be >= 1")
@@ -149,14 +152,23 @@ class Mpi2dLbPIC(ParallelPICBase):
             state.partition = state.partition.with_xsplits(new_splits)
         else:
             state.partition = state.partition.with_ysplits(new_splits)
-        if self.tracer is not None and cart.rank == 0:
-            from repro.instrument import LbEvent
-
+        if cart.rank == 0:
             moved_cols = int(np.abs(new_splits - splits).sum())
-            self.tracer.record_event(
-                LbEvent(step=state.extra.get("lb_step", -1), kind="diffusion",
-                        moved=moved_cols, detail=f"axis={axis}")
-            )
+            if self.tracer is not None:
+                from repro.instrument import LbEvent
+
+                self.tracer.record_event(
+                    LbEvent(step=state.extra.get("lb_step", -1), kind="diffusion",
+                            moved=moved_cols, detail=f"axis={axis}")
+                )
+            if self.metrics is not None:
+                self.metrics.counter("lb.diffusion_rounds").inc()
+                self.metrics.counter("lb.boundary_cols_moved").inc(moved_cols)
+            if self.span_tracer is not None:
+                self.span_tracer.instant(
+                    "diffusion_lb", "lb", comm.world_rank, comm.core(),
+                    comm.wtime(), axis=axis, moved_cols=moved_cols,
+                )
         state.particles = yield from exchange_particles(
             comm, cart, state.partition, self.mesh, state.particles, cost
         )

@@ -62,6 +62,23 @@ class Comm:
         """This rank's virtual clock (the simulated MPI_Wtime)."""
         return self._scheduler.clock[self.world_rank]
 
+    def annotate_step(self, step: int) -> None:
+        """Stamp this rank's subsequent trace spans with ``step``.
+
+        Non-yielding and free in simulated time: it only updates the
+        observational tracer (if any), never the simulated state — drivers
+        call it unconditionally at the top of each time step.
+        """
+        tracer = self._scheduler.tracer
+        if tracer is not None:
+            tracer.set_step(self.world_rank, step)
+
+    def _count_op(self, name: str) -> None:
+        """Bump the per-operation metrics counter (observational only)."""
+        metrics = self._scheduler.metrics
+        if metrics is not None:
+            metrics.counter(f"comm.{name}").inc()
+
     def core(self) -> int:
         """Physical core this rank currently executes on."""
         return self._scheduler.rank_to_core[self.world_rank]
@@ -88,6 +105,7 @@ class Comm:
         self._check_peer(dst)
         if nbytes is None:
             nbytes = payload_nbytes(payload)
+        self._count_op("send")
         return ops.SendOp(self, dst, tag, payload, nbytes)
 
     def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG, status: bool = False) -> ops.RecvOp:
@@ -115,6 +133,7 @@ class Comm:
             self._check_peer(src)
         if nbytes is None:
             nbytes = payload_nbytes(payload)
+        self._count_op("sendrecv")
         return ops.SendrecvOp(self, payload, dst, sendtag, src, recvtag, nbytes)
 
     # ------------------------------------------------------------------

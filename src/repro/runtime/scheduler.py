@@ -72,7 +72,18 @@ class CollectiveContext:
         return self.scheduler.rank_to_core[self.comm.world_ranks[local_rank]]
 
     def set_core(self, local_rank: int, core: int) -> None:
-        self.scheduler.rank_to_core[self.comm.world_ranks[local_rank]] = core
+        world = self.comm.world_ranks[local_rank]
+        tracer = self.scheduler.tracer
+        if tracer is not None:
+            tracer.instant(
+                "migrate",
+                "lb",
+                world,
+                core,
+                self.scheduler.clock[world],
+                old_core=self.scheduler.rank_to_core[world],
+            )
+        self.scheduler.rank_to_core[world] = core
 
     def add_time(self, local_rank: int, seconds: float) -> None:
         self.extra_time[local_rank] = self.extra_time.get(local_rank, 0.0) + seconds
@@ -84,6 +95,10 @@ class CollectiveContext:
     @property
     def machine(self) -> MachineModel:
         return self.scheduler.machine
+
+    @property
+    def metrics(self):
+        return self.scheduler.metrics
 
 
 @dataclass
@@ -113,6 +128,8 @@ class Scheduler:
         machine: MachineModel | None = None,
         cost: CostModel | None = None,
         rank_to_core: Sequence[int] | None = None,
+        tracer=None,
+        metrics=None,
     ):
         if n_ranks <= 0:
             raise RuntimeConfigError("need at least one rank")
@@ -136,9 +153,18 @@ class Scheduler:
             if len(rank_to_core) != n_ranks:
                 raise RuntimeConfigError("rank_to_core must have one entry per rank")
         self.rank_to_core = rank_to_core
-        self.transport = Transport(n_ranks)
+        #: Optional :class:`repro.instrument.Tracer` — receives spans at
+        #: every state transition.  Purely observational: emissions are
+        #: guarded with ``is not None`` and never touch simulated state.
+        self.tracer = tracer
+        #: Optional :class:`repro.instrument.MetricsRegistry`, same contract.
+        self.metrics = metrics
+        self.transport = Transport(n_ranks, metrics=metrics)
         self.clock = [0.0] * n_ranks
         self.core_clock: dict[int, float] = {}
+        #: Cumulative seconds each core spent occupied (compute + message
+        #: CPU overheads); feeds the core-busy-fraction metric.
+        self.core_busy: dict[int, float] = {}
         self._comm_counter = 0
         self._coll_pool: dict[tuple[int, int], dict[int, ops.CollectiveOp]] = {}
         self._states: list[_RankState] = []
@@ -222,6 +248,7 @@ class Scheduler:
         end = start + seconds
         self.clock[rank] = end
         self.core_clock[core] = end
+        self.core_busy[core] = self.core_busy.get(core, 0.0) + seconds
         return end
 
     # ------------------------------------------------------------------
@@ -229,7 +256,12 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _dispatch(self, r: int, op, ready: deque) -> None:
         if type(op) is ops.ComputeOp:
-            self._occupy(r, op.seconds)
+            end = self._occupy(r, op.seconds)
+            if self.tracer is not None and op.seconds > 0.0:
+                self.tracer.record(
+                    "compute", "compute", r, self.rank_to_core[r],
+                    end - op.seconds, end,
+                )
             ready.append(r)
         elif type(op) is ops.SendOp:
             self._do_send(r, op.comm, op.dst, op.tag, op.payload, op.nbytes, ready)
@@ -262,7 +294,13 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _do_send(self, r: int, comm: Comm, dst: int, tag, payload, nbytes, ready: deque) -> None:
         dst_world = comm.world_ranks[dst]
-        end = self._occupy(r, self.cost.send_overhead())
+        overhead = self.cost.send_overhead()
+        end = self._occupy(r, overhead)
+        if self.tracer is not None and overhead > 0.0:
+            self.tracer.record(
+                "send", "comm", r, self.rank_to_core[r], end - overhead, end,
+                dst=dst_world, tag=tag, nbytes=nbytes,
+            )
         wire = self.cost.message_time(
             self.rank_to_core[r], self.rank_to_core[dst_world], nbytes
         )
@@ -301,8 +339,22 @@ class Scheduler:
 
     def _complete_recv(self, r: int, op: ops.RecvOp, msg: Message) -> None:
         wait_until = max(self.clock[r], msg.t_avail)
+        if self.tracer is not None and wait_until > self.clock[r]:
+            # Blocked-on-message interval: from when the rank posted the
+            # receive (its clock froze there) until the message arrived.
+            self.tracer.record(
+                "recv_wait", "wait", r, self.rank_to_core[r],
+                self.clock[r], wait_until,
+                src=msg.src, tag=msg.tag,
+            )
         self.clock[r] = wait_until
-        self._occupy(r, self.cost.recv_overhead())
+        overhead = self.cost.recv_overhead()
+        end = self._occupy(r, overhead)
+        if self.tracer is not None and overhead > 0.0:
+            self.tracer.record(
+                "recv", "comm", r, self.rank_to_core[r], end - overhead, end,
+                src=msg.src, tag=msg.tag, nbytes=msg.nbytes,
+            )
         state = self._states[r]
         if op.with_status:
             state.resume_value = (msg.payload, msg.src, msg.tag)
@@ -313,6 +365,8 @@ class Scheduler:
     # Collectives
     # ------------------------------------------------------------------
     def _join_collective(self, r: int, op: ops.CollectiveOp, ready: deque) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"comm.coll.{op.kind}").inc()
         key = (op.comm.comm_id, op.seq)
         pool = self._coll_pool.setdefault(key, {})
         local = op.comm.rank
@@ -346,8 +400,18 @@ class Scheduler:
         values = [pool[i].value for i in range(size)]
         nbytes = max(pool[i].nbytes for i in range(size))
         cores = [self.rank_to_core[w] for w in world_ranks]
+        if self.metrics is not None:
+            self.metrics.counter("runtime.collectives_completed").inc()
 
         t_arrive = max(self.clock[w] for w in world_ranks)
+        if self.tracer is not None:
+            # Early arrivals idled from their own clock until the straggler.
+            for w in world_ranks:
+                if self.clock[w] < t_arrive:
+                    self.tracer.record(
+                        f"wait:{kind}", "wait", w, self.rank_to_core[w],
+                        self.clock[w], t_arrive,
+                    )
         extra: dict[int, float] = {}
 
         if kind == "user":
@@ -366,7 +430,13 @@ class Scheduler:
 
         t_done = t_arrive + self.cost.collective_time(kind, cores, nbytes)
         for i, w in enumerate(world_ranks):
-            self.clock[w] = t_done + extra.get(i, 0.0)
+            end_w = t_done + extra.get(i, 0.0)
+            if self.tracer is not None and end_w > t_arrive:
+                self.tracer.record(
+                    f"coll:{kind}", "collective", w, self.rank_to_core[w],
+                    t_arrive, end_w, nbytes=nbytes,
+                )
+            self.clock[w] = end_w
             st = self._states[w]
             st.resume_value = results[i]
             if st.status == _BLOCKED_COLL:
@@ -471,13 +541,22 @@ def run_spmd(
     machine: MachineModel | None = None,
     cost: CostModel | None = None,
     rank_to_core: Sequence[int] | None = None,
+    tracer=None,
+    metrics=None,
 ) -> SpmdResult:
     """Convenience wrapper: run one program (or one per rank) on ``n_ranks``.
 
     ``program`` is either a single callable used by every rank or a sequence
     of per-rank callables.
     """
-    sched = Scheduler(n_ranks, machine=machine, cost=cost, rank_to_core=rank_to_core)
+    sched = Scheduler(
+        n_ranks,
+        machine=machine,
+        cost=cost,
+        rank_to_core=rank_to_core,
+        tracer=tracer,
+        metrics=metrics,
+    )
     if callable(program):
         programs = [program] * n_ranks
     else:

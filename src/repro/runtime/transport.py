@@ -20,7 +20,7 @@ ANY_TAG: int = -1
 class Transport:
     """Mailboxes for ``n`` world ranks."""
 
-    def __init__(self, n_ranks: int):
+    def __init__(self, n_ranks: int, metrics=None):
         if n_ranks <= 0:
             raise ValueError("transport needs at least one rank")
         self.n_ranks = n_ranks
@@ -29,6 +29,9 @@ class Transport:
         # Traffic statistics (exposed through the scheduler for benchmarks).
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Optional :class:`repro.instrument.MetricsRegistry`; observational
+        #: only — never influences matching or delivery.
+        self.metrics = metrics
 
     def next_seq(self) -> int:
         self._seq += 1
@@ -39,6 +42,12 @@ class Transport:
         self._pending[dst_world].append(message)
         self.messages_sent += 1
         self.bytes_sent += message.nbytes
+        if self.metrics is not None:
+            self.metrics.counter("transport.messages_sent").inc()
+            self.metrics.counter("transport.bytes_sent").inc(message.nbytes)
+            self.metrics.gauge("transport.pending_peak").set_max(
+                len(self._pending[dst_world])
+            )
 
     def match(self, dst_world: int, comm_id: int, src: int, tag: int) -> Message | None:
         """Pop and return the first matching pending message, if any."""

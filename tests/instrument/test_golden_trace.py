@@ -1,0 +1,74 @@
+"""Golden-trace determinism and the no-perturbation invariant.
+
+The scheduler is fully deterministic, so (a) tracing the same spec twice
+must produce byte-identical Chrome-trace JSON, and (b) attaching a tracer
+and a metrics registry must change *nothing* about the simulated run —
+identical simulated times, per-rank clocks, traffic counts and verification
+results.  These tests are the correctness gate every future perf PR reports
+against.
+"""
+
+import pytest
+
+from repro.core.spec import PICSpec
+from repro.instrument import MetricsRegistry, Tracer, dumps_chrome_trace
+from repro.parallel import AmpiPIC, Mpi2dLbPIC, Mpi2dPIC
+
+IMPLS = [
+    pytest.param(lambda spec, **kw: Mpi2dPIC(spec, 4, **kw), id="mpi-2d"),
+    pytest.param(
+        lambda spec, **kw: Mpi2dLbPIC(spec, 4, lb_interval=2, border_width=1, **kw),
+        id="mpi-2d-LB",
+    ),
+    pytest.param(
+        lambda spec, **kw: AmpiPIC(spec, 4, overdecomposition=2, lb_interval=3, **kw),
+        id="ampi",
+    ),
+]
+
+
+def spec():
+    return PICSpec(cells=32, n_particles=800, steps=8, r=0.9)
+
+
+class TestGoldenTrace:
+    @pytest.mark.parametrize("make", IMPLS)
+    def test_trace_is_byte_identical_across_runs(self, make):
+        dumps = []
+        for _ in range(2):
+            tracer = Tracer()
+            res = make(spec(), span_tracer=tracer).run()
+            assert res.verification.ok
+            dumps.append(dumps_chrome_trace(tracer))
+        assert dumps[0] == dumps[1]
+
+    @pytest.mark.parametrize("make", IMPLS)
+    def test_tracing_does_not_perturb_simulation(self, make):
+        plain = make(spec()).run()
+        traced = make(
+            spec(), span_tracer=Tracer(), metrics=MetricsRegistry()
+        ).run()
+        assert traced.total_time == plain.total_time
+        assert traced.rank_times == plain.rank_times
+        assert traced.messages_sent == plain.messages_sent
+        assert traced.bytes_sent == plain.bytes_sent
+        assert traced.collectives == plain.collectives
+        assert traced.verification == plain.verification
+        assert traced.final_rank_to_core == plain.final_rank_to_core
+
+    @pytest.mark.parametrize("make", IMPLS)
+    def test_metrics_are_deterministic_across_runs(self, make):
+        dumps = []
+        for _ in range(2):
+            metrics = MetricsRegistry()
+            make(spec(), metrics=metrics).run()
+            dumps.append(metrics.as_dict())
+        assert dumps[0] == dumps[1]
+
+    def test_legacy_collector_still_does_not_perturb(self):
+        from repro.instrument import TraceCollector
+
+        plain = Mpi2dPIC(spec(), 4).run()
+        traced = Mpi2dPIC(spec(), 4, tracer=TraceCollector()).run()
+        assert traced.total_time == plain.total_time
+        assert traced.verification == plain.verification

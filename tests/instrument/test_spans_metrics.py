@@ -1,0 +1,197 @@
+"""Unit tests for the Tracer/Span layer and the MetricsRegistry."""
+
+import pytest
+
+from repro.instrument import MetricsRegistry, Span, Tracer, validate_spans
+from repro.runtime.costmodel import CostModel
+from repro.runtime.machine import MachineModel
+from repro.runtime.reduce_ops import SUM
+from repro.runtime.scheduler import run_spmd
+
+
+class TestTracerUnit:
+    def test_record_and_step_stamping(self):
+        tr = Tracer()
+        tr.record("compute", "compute", 0, 0, 0.0, 1.0)
+        tr.set_step(0, 7)
+        tr.record("compute", "compute", 0, 0, 1.0, 2.0)
+        tr.record("compute", "compute", 1, 1, 0.0, 0.5)  # other rank: no step
+        assert [s.step for s in tr.spans] == [-1, 7, -1]
+        assert tr.ranks() == [0, 1]
+        assert len(tr) == 3
+
+    def test_args_are_sorted_and_frozen(self):
+        tr = Tracer()
+        tr.record("send", "comm", 0, 0, 0.0, 1.0, tag=5, dst=2)
+        span = tr.spans[0]
+        assert span.args == (("dst", 2), ("tag", 5))
+        assert span.args_dict() == {"dst": 2, "tag": 5}
+
+    def test_seconds_by_category_and_busy_fraction(self):
+        tr = Tracer()
+        tr.record("compute", "compute", 0, 0, 0.0, 2.0)
+        tr.record("recv_wait", "wait", 0, 0, 2.0, 3.0)
+        tr.record("compute", "compute", 1, 1, 0.0, 1.0)
+        assert tr.seconds_by_category() == {"compute": 3.0, "wait": 1.0}
+        assert tr.seconds_by_category(rank=0) == {"compute": 2.0, "wait": 1.0}
+        assert tr.busy_fraction(0, 4.0) == pytest.approx(0.5)
+        assert tr.busy_fraction(0, 0.0) == 0.0
+
+    def test_validate_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="negative"):
+            validate_spans([Span("x", "compute", 0, 0, 0, 2.0, 1.0)])
+
+    def test_validate_rejects_unknown_category(self):
+        with pytest.raises(ValueError, match="category"):
+            validate_spans([Span("x", "banana", 0, 0, 0, 0.0, 1.0)])
+
+
+class TestSchedulerEmission:
+    """Spans emitted by the real scheduler for hand-built programs."""
+
+    def run_traced(self, n_ranks, program, **kw):
+        tracer = Tracer()
+        result = run_spmd(n_ranks, program, tracer=tracer, **kw)
+        validate_spans(tracer.spans)
+        return tracer, result
+
+    def test_compute_span(self):
+        def program(comm):
+            yield comm.compute(0.25)
+            return None
+
+        tracer, _ = self.run_traced(1, program)
+        [span] = [s for s in tracer.spans if s.name == "compute"]
+        assert span.cat == "compute"
+        assert span.duration == pytest.approx(0.25)
+        assert span.rank == 0
+
+    def test_blocked_recv_produces_wait_span(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.compute(0.5)  # delay the send
+                yield comm.send(b"x" * 1000, dst=1, tag=1)
+            else:
+                _ = yield comm.recv(src=0, tag=1)
+            return None
+
+        tracer, _ = self.run_traced(2, program)
+        waits = [s for s in tracer.spans if s.name == "recv_wait"]
+        assert len(waits) == 1
+        assert waits[0].rank == 1
+        assert waits[0].cat == "wait"
+        assert waits[0].duration > 0.4  # blocked roughly the compute delay
+
+    def test_collective_wait_charged_to_early_arrivals(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.compute(0.3)  # rank 0 is the straggler
+            total = yield comm.allreduce(1, op=SUM)
+            return total
+
+        tracer, result = self.run_traced(3, program)
+        assert result.returns == [3, 3, 3]
+        waits = [s for s in tracer.spans if s.name == "wait:allreduce"]
+        assert {s.rank for s in waits} == {1, 2}
+        for s in waits:
+            assert s.t_end == pytest.approx(0.3)
+        colls = [s for s in tracer.spans if s.name == "coll:allreduce"]
+        assert {s.rank for s in colls} == {0, 1, 2}
+
+    def test_send_recv_spans_carry_peer_args(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.send(b"payload", dst=1, tag=9)
+            else:
+                _ = yield comm.recv(src=0, tag=9)
+            return None
+
+        tracer, _ = self.run_traced(2, program)
+        [send] = [s for s in tracer.spans if s.name == "send"]
+        assert send.args_dict()["dst"] == 1
+        assert send.args_dict()["tag"] == 9
+        [recv] = [s for s in tracer.spans if s.name == "recv"]
+        assert recv.args_dict()["src"] == 0
+
+    def test_step_annotation_reaches_spans(self):
+        def program(comm):
+            for t in range(3):
+                comm.annotate_step(t)
+                yield comm.compute(0.1)
+            return None
+
+        tracer, _ = self.run_traced(1, program)
+        computes = [s for s in tracer.spans if s.name == "compute"]
+        assert [s.step for s in computes] == [0, 1, 2]
+
+
+class TestMetricsRegistry:
+    def test_counter_semantics(self):
+        m = MetricsRegistry()
+        c = m.counter("msgs")
+        c.inc()
+        c.inc(4)
+        assert m.counter("msgs").value == 5  # get-or-create returns same
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_semantics(self):
+        m = MetricsRegistry()
+        g = m.gauge("depth")
+        assert g.value is None
+        g.set(2.0)
+        g.set_max(1.0)
+        assert g.value == 2.0
+        g.set_max(7.0)
+        assert g.value == 7.0
+
+    def test_histogram_summary_and_percentiles(self):
+        m = MetricsRegistry()
+        h = m.histogram("times")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 4.0
+        assert h.summary()["max"] == 4.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_kind_conflict_raises(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            m.gauge("x")
+
+    def test_as_dict_is_sorted_and_complete(self):
+        m = MetricsRegistry()
+        m.gauge("b").set(1.0)
+        m.counter("a").inc()
+        m.histogram("c").observe(2.0)
+        d = m.as_dict()
+        assert list(d) == ["a", "b", "c"]
+        assert d["a"] == {"kind": "counter", "value": 1}
+        assert d["c"]["count"] == 1
+        assert "a" in m and "z" not in m
+
+    def test_scheduler_transport_metrics_match_result(self):
+        from repro.core.spec import PICSpec
+        from repro.parallel import Mpi2dPIC
+
+        metrics = MetricsRegistry()
+        res = Mpi2dPIC(
+            PICSpec(cells=32, n_particles=500, steps=5, r=0.9), 4, metrics=metrics
+        ).run()
+        assert metrics.counter("transport.messages_sent").value == res.messages_sent
+        assert metrics.counter("transport.bytes_sent").value == res.bytes_sent
+        assert (
+            metrics.counter("runtime.collectives_completed").value
+            == res.collectives
+        )
+        assert metrics.counter("comm.coll.allreduce").value > 0
+        assert metrics.histogram("step.imbalance_ratio").count == 5
+        assert metrics.gauge("run.total_time_s").value == res.total_time
+        busy = metrics.histogram("core.busy_fraction")
+        assert busy.count == 4
+        assert all(0.0 <= v <= 1.0 for v in busy.values)

@@ -1,0 +1,102 @@
+"""Differential test harness: the three implementations against each other.
+
+The paper's self-verification checks each run against the closed form; this
+harness additionally checks the implementations against *each other*.  For
+any spec, `mpi-2d`, `mpi-2d-LB` and `ampi` push the same particles through
+the same physics, so all three must pass verification AND agree exactly on
+the final global state: particle count, id checksum, and (bitwise) the
+maximum position error — regardless of decomposition, diffusion balancing
+or VP migration.  A load balancer that drops, duplicates or corrupts a
+single particle breaks the agreement.
+"""
+
+import pytest
+
+from repro.core.spec import Distribution, InjectionEvent, PICSpec, Region
+from repro.parallel import AmpiPIC, Mpi2dLbPIC, Mpi2dPIC
+
+CORES = 4
+
+DISTRIBUTIONS = [
+    pytest.param(dict(distribution=Distribution.GEOMETRIC, r=0.9), id="geometric"),
+    pytest.param(dict(distribution=Distribution.SINUSOIDAL), id="sinusoidal"),
+    pytest.param(
+        dict(distribution=Distribution.PATCH, patch=Region(4, 16, 4, 20)),
+        id="patch",
+    ),
+]
+
+INJECTIONS = [
+    pytest.param((), id="no-injection"),
+    pytest.param(
+        (InjectionEvent(step=3, region=Region(0, 8, 0, 8), count=150),),
+        id="injection",
+    ),
+]
+
+
+def make_spec(dist_kwargs, events) -> PICSpec:
+    return PICSpec(
+        cells=32,
+        n_particles=900,
+        steps=8,
+        events=tuple(events),
+        **dist_kwargs,
+    )
+
+
+def run_all_impls(spec):
+    """One result per implementation, identical spec and core count."""
+    return {
+        "mpi-2d": Mpi2dPIC(spec, CORES).run(),
+        "mpi-2d-LB": Mpi2dLbPIC(
+            spec, CORES, lb_interval=2, border_width=1
+        ).run(),
+        "ampi": AmpiPIC(
+            spec, CORES, overdecomposition=2, lb_interval=3
+        ).run(),
+    }
+
+
+class TestDifferentialMatrix:
+    @pytest.mark.parametrize("events", INJECTIONS)
+    @pytest.mark.parametrize("dist_kwargs", DISTRIBUTIONS)
+    def test_all_impls_verify_and_agree(self, dist_kwargs, events):
+        spec = make_spec(dist_kwargs, events)
+        results = run_all_impls(spec)
+
+        for name, res in results.items():
+            assert res.verification.ok, f"{name}: {res.verification}"
+
+        checksums = {r.verification.id_checksum for r in results.values()}
+        assert len(checksums) == 1, f"checksums diverge: {results}"
+        counts = {r.verification.n_particles for r in results.values()}
+        assert len(counts) == 1, f"particle counts diverge: {counts}"
+        # Bitwise agreement on the reduced maximum position error: every
+        # particle's trajectory is independent of the decomposition.
+        errors = {r.verification.max_abs_error for r in results.values()}
+        assert len(errors) == 1, f"max errors diverge: {errors}"
+
+    @pytest.mark.parametrize("events", INJECTIONS)
+    def test_checksum_matches_analytic_expectation(self, events):
+        spec = make_spec(dict(distribution=Distribution.GEOMETRIC, r=0.9), events)
+        injected = sum(e.count for e in events)
+        n_total = spec.n_particles + injected
+        expected = n_total * (n_total + 1) // 2
+        for name, res in run_all_impls(spec).items():
+            assert res.verification.id_checksum == expected, name
+            assert res.verification.n_particles == n_total, name
+
+    def test_agreement_is_load_balancer_independent(self):
+        """Different LB tunables change timing, never the physics."""
+        spec = make_spec(dict(distribution=Distribution.GEOMETRIC, r=0.9), ())
+        aggressive = Mpi2dLbPIC(spec, CORES, lb_interval=1, border_width=3).run()
+        lazy = Mpi2dLbPIC(spec, CORES, lb_interval=7, border_width=1).run()
+        assert aggressive.verification.ok and lazy.verification.ok
+        assert (
+            aggressive.verification.id_checksum == lazy.verification.id_checksum
+        )
+        assert (
+            aggressive.verification.max_abs_error
+            == lazy.verification.max_abs_error
+        )

@@ -1,5 +1,7 @@
 """Tests for the pic-prk command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -61,6 +63,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "imbalance" in out
+
+    def test_trace_help_mentions_out(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--out" in out
+        assert "trace.json" in out
+
+    @pytest.mark.parametrize("impl", ["mpi-2d", "mpi-2d-LB", "ampi"])
+    def test_trace_out_writes_artifacts(self, impl, tmp_path, capsys):
+        outdir = tmp_path / "obs"
+        rc = main([
+            "trace", "--impl", impl, "--cores", "4",
+            "--cells", "32", "--particles", "300", "--steps", "6",
+            "--out", str(outdir),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("trace.json", "timeline.txt", "metrics.json"):
+            path = outdir / name
+            assert path.exists(), f"{name} not written"
+            assert path.stat().st_size > 0
+            assert name in out
+        doc = json.loads((outdir / "trace.json").read_text())
+        assert doc["traceEvents"]
+        metrics = json.loads((outdir / "metrics.json").read_text())
+        assert metrics["transport.messages_sent"]["value"] > 0
+        assert "rank 0:" in (outdir / "timeline.txt").read_text()
+
+    def test_trace_without_out_writes_nothing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "trace", "--impl", "mpi-2d", "--cores", "4",
+            "--cells", "32", "--particles", "300", "--steps", "6",
+        ])
+        assert rc == 0
+        assert list(tmp_path.iterdir()) == []
 
     def test_run_with_knobs(self, capsys):
         rc = main([
