@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Wall-clock speedup harness: optimised hot path vs the code it replaced.
+
+Unlike the figure benches (scientific output = *simulated* time) and the
+pytest-benchmark micros, this script measures the harness's own wall-clock
+throughput and writes a machine-normalised ``BENCH_wallclock.json``: every
+entry reports the speedup of the current hot path over the verbatim legacy
+implementation run back-to-back in the same process, so results are
+comparable across machines on ratios even though absolute ``pushes_per_sec``
+are not.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py                  # full, gated
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --preset smoke \
+        --baseline benchmarks/BENCH_wallclock_baseline.json              # CI mode
+
+Exit status is non-zero if an absolute gate fails (``full`` preset) or the
+speedup ratios regressed more than ``--tolerance`` against ``--baseline``.
+
+(Equivalently: ``python -m repro.cli perf ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.bench import perf  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--preset", choices=["full", "smoke"], default="full")
+    ap.add_argument("--out", default="benchmarks/BENCH_wallclock.json")
+    ap.add_argument(
+        "--baseline", default=None,
+        help="prior BENCH_wallclock.json to gate speedup ratios against",
+    )
+    ap.add_argument("--tolerance", type=float, default=perf.DEFAULT_TOLERANCE)
+    args = ap.parse_args(argv)
+
+    print(f"wall-clock perf suite (preset={args.preset}):")
+    doc = perf.run_suite(args.preset)
+    perf.save_bench(doc, args.out)
+    print(f"wrote {args.out}")
+
+    failures = perf.check_gates(doc)
+    if args.baseline:
+        failures += perf.check_regression(
+            doc, perf.load_bench(args.baseline), args.tolerance
+        )
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("all gates passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Faithful copies of the pre-pooling hot-path code, kept as perf baselines.
+
+The wall-clock harness (:mod:`repro.bench.perf`) measures the optimised hot
+path *against the code it replaced*, in the same process and on the same
+machine, so the reported speedups are self-normalising.  The kernel side of
+the comparison lives next to the optimised code
+(:func:`repro.core.kernel.advance_reference`); this module preserves the
+particle-exchange side: the seed's ``exchange_particles`` pipeline, which
+allocated fresh select/pack/concatenate arrays for the full population on
+every routing hop.
+
+These functions are verbatim ports of the seed implementation (commit
+"PR 1") modulo renames, and must stay behaviourally identical to it — they
+are the "before" in every BENCH_wallclock.json entry.  Do not optimise them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mesh import Mesh
+from repro.core.particles import PARTICLE_RECORD_FIELDS, ParticleArray
+from repro.decomp.partition import BlockPartition
+from repro.parallel.base import (
+    TAG_X_LEFT,
+    TAG_X_RIGHT,
+    TAG_Y_DOWN,
+    TAG_Y_UP,
+)
+from repro.runtime.cart import CartComm
+from repro.runtime.comm import Comm
+from repro.runtime.costmodel import CostModel
+from repro.runtime.reduce_ops import SUM
+
+#: Shared zero-particle wire buffer (read-only by convention).
+_EMPTY_BUF = np.empty((0, PARTICLE_RECORD_FIELDS), dtype=np.float64)
+
+
+def exchange_particles_legacy(
+    comm: Comm,
+    cart: CartComm,
+    partition: BlockPartition,
+    mesh: Mesh,
+    particles: ParticleArray,
+    cost: CostModel,
+    scratch=None,
+):
+    """The seed's particle router: fresh allocations on every hop.
+
+    Accepts (and ignores) ``scratch`` so it can be monkeypatched in place of
+    the optimised :func:`repro.parallel.base.exchange_particles`.
+    """
+    my_px, my_py = cart.coords
+    px, py = cart.px, cart.py
+    while True:
+        if px > 1:
+            particles = yield from _route_axis_legacy(
+                comm, cart, particles, mesh, cost,
+                owner_of=partition.x_owner,
+                coord_of=lambda p: p.cell_columns(mesh),
+                my_index=my_px, n_index=px, axis=0,
+                tag_fwd=TAG_X_RIGHT, tag_bwd=TAG_X_LEFT,
+            )
+        if py > 1:
+            particles = yield from _route_axis_legacy(
+                comm, cart, particles, mesh, cost,
+                owner_of=partition.y_owner,
+                coord_of=lambda p: p.cell_rows(mesh),
+                my_index=my_py, n_index=py, axis=1,
+                tag_fwd=TAG_Y_UP, tag_bwd=TAG_Y_DOWN,
+            )
+        misplaced = _count_misplaced_legacy(cart, partition, mesh, particles)
+        total = yield comm.allreduce(misplaced, op=SUM)
+        if total == 0:
+            return particles
+
+
+def _count_misplaced_legacy(cart, partition, mesh, particles) -> int:
+    if len(particles) == 0:
+        return 0
+    owner = partition.owner_rank(
+        particles.cell_columns(mesh), particles.cell_rows(mesh)
+    )
+    return int(np.count_nonzero(owner != cart.rank))
+
+
+def _route_axis_legacy(
+    comm, cart, particles, mesh, cost,
+    *, owner_of, coord_of, my_index, n_index, axis, tag_fwd, tag_bwd,
+):
+    """One forwarding hop along one axis (generator; returns particle set)."""
+    n_fwd = n_bwd = 0
+    if len(particles):
+        owner = owner_of(coord_of(particles))
+        dist = (owner - my_index) % n_index
+        go_fwd = (dist > 0) & (dist <= n_index // 2)
+        go_bwd = dist > n_index // 2
+        n_fwd = int(np.count_nonzero(go_fwd))
+        n_bwd = int(np.count_nonzero(go_bwd))
+
+    fwd_buf = particles.pack(go_fwd) if n_fwd else _EMPTY_BUF
+    bwd_buf = particles.pack(go_bwd) if n_bwd else _EMPTY_BUF
+    n_out = n_fwd + n_bwd
+    if n_out:
+        yield comm.compute(cost.pack_time(n_out))
+
+    src_bwd, dst_fwd = cart.shift(axis, 1)
+    src_fwd, dst_bwd = cart.shift(axis, -1)
+    from_bwd = yield comm.sendrecv(
+        fwd_buf, dst=dst_fwd, src=src_bwd, sendtag=tag_fwd, recvtag=tag_fwd,
+        nbytes=cost.particle_wire_bytes(fwd_buf.nbytes),
+    )
+    from_fwd = yield comm.sendrecv(
+        bwd_buf, dst=dst_bwd, src=src_fwd, sendtag=tag_bwd, recvtag=tag_bwd,
+        nbytes=cost.particle_wire_bytes(bwd_buf.nbytes),
+    )
+
+    n_in = len(from_bwd) + len(from_fwd)
+    if n_in == 0:
+        if n_out == 0:
+            return particles
+        return particles.select(~(go_fwd | go_bwd))
+    yield comm.compute(cost.pack_time(n_in))
+    kept = particles.select(~(go_fwd | go_bwd)) if n_out else particles
+    parts = [kept]
+    if len(from_bwd):
+        parts.append(ParticleArray.from_packed(from_bwd))
+    if len(from_fwd):
+        parts.append(ParticleArray.from_packed(from_fwd))
+    return ParticleArray.concatenate(parts)

@@ -1,0 +1,347 @@
+"""Wall-clock performance harness for the zero-churn hot path.
+
+Everything in :mod:`repro.bench` up to now measures *simulated* time — the
+virtual clocks of the modelled machine.  This module measures *wall-clock*
+time: how fast the harness itself executes, which is what the pooled
+particle buffers, the fused kernel and the cached ownership tests improve.
+
+Methodology
+-----------
+
+Absolute wall-clock numbers are meaningless across machines, so every
+benchmark here is **self-normalising**: the optimised code and the code it
+replaced (kept verbatim in :mod:`repro.bench.legacy` and
+:func:`repro.core.kernel.advance_reference`) run back-to-back in the same
+process, and the reported figure of merit is their ratio.  A
+``BENCH_wallclock.json`` produced on a laptop and one produced in CI are
+directly comparable on speedups even though their ``pushes_per_sec``
+differ.
+
+Three drivers:
+
+``kernel``
+    Microbenchmark of :func:`repro.core.kernel.advance` against
+    ``advance_reference`` on a single large particle population.  The
+    ``full`` preset uses n = 4M particles — large enough that the legacy
+    path's full-population temporaries cross glibc's mmap threshold and
+    every step pays page faults, which is precisely the regime the fused
+    workspace eliminates.
+
+``exchange``
+    End-to-end run at several cores with **only** the particle exchange
+    swapped between optimised and legacy (the kernel stays optimised on
+    both sides), isolating the pooled wire buffers + cached ownership.
+
+``end_to_end``
+    The fig6 strong-scaling shape (cells=288, geometric cloud) run through
+    the full simulated-MPI stack on a single node.  The ``full`` preset is
+    perf-grade: the fig6 shape at 4M particles, where the per-step
+    allocation churn this PR removes dominates the wall clock.  The scaled
+    fig6 preset (24k particles) is also reported, non-gating, for
+    transparency: at that size numpy ufunc dispatch and scheduler overhead
+    floor the achievable ratio.
+
+Both sides of every end-to-end entry must produce *identical simulated
+time* and pass the PRK verification — recorded as ``sim_time_match`` — so a
+benchmark run is also a differential test of the optimisation.
+
+Gates: entries carry ``gate_min_speedup`` (the acceptance floor checked by
+:func:`check_gates`) in the ``full`` preset; ``smoke`` entries are gated
+only *relatively*, by :func:`check_regression` against a checked-in
+baseline (CI fails on a >25% speedup-ratio drop).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from contextlib import contextmanager
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.legacy import exchange_particles_legacy
+from repro.bench.workloads import FIG6_CELLS, rescale_r, scaled_cost
+from repro.core import kernel
+from repro.core.mesh import Mesh
+from repro.core.particles import ParticleArray
+from repro.core.spec import PICSpec
+from repro.runtime.costmodel import CostModel
+from repro.runtime.machine import MachineModel
+
+SCHEMA_VERSION = 1
+
+#: Relative speedup-ratio drop tolerated by :func:`check_regression`.
+DEFAULT_TOLERANCE = 0.25
+
+_FIG6_R = rescale_r(0.999, 2998, FIG6_CELLS)
+
+
+# ----------------------------------------------------------------------
+# Baseline patching
+# ----------------------------------------------------------------------
+@contextmanager
+def use_legacy_kernel():
+    """Route ``kernel.advance`` to the pre-fusion reference implementation."""
+    orig = kernel.advance
+
+    def _legacy(mesh, particles, dt, workspace=None):
+        return kernel.advance_reference(mesh, particles, dt)
+
+    kernel.advance = _legacy
+    try:
+        yield
+    finally:
+        kernel.advance = orig
+
+
+@contextmanager
+def use_legacy_exchange():
+    """Route particle exchange to the pre-pooling seed implementation."""
+    import repro.parallel.base as base_mod
+    import repro.parallel.mpi2d_lb as lb_mod
+
+    orig_base = base_mod.exchange_particles
+    orig_lb = lb_mod.exchange_particles
+    base_mod.exchange_particles = exchange_particles_legacy
+    lb_mod.exchange_particles = exchange_particles_legacy
+    try:
+        yield
+    finally:
+        base_mod.exchange_particles = orig_base
+        lb_mod.exchange_particles = orig_lb
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def _make_particles(n: int, mesh: Mesh, seed: int = 7) -> ParticleArray:
+    rng = np.random.default_rng(seed)
+    p = ParticleArray.empty(n)
+    p.x[:] = rng.uniform(0.0, mesh.L, n)
+    p.y[:] = rng.uniform(0.0, mesh.L, n)
+    p.vx[:] = rng.normal(size=n) * 0.05
+    p.vy[:] = rng.normal(size=n) * 0.05
+    p.q[:] = np.where(rng.integers(0, 2, n) == 0, 1.0, -1.0)
+    return p
+
+
+def bench_kernel(n: int, steps: int, *, cells: int = FIG6_CELLS) -> dict:
+    """Time ``advance`` vs ``advance_reference`` on the same population."""
+    mesh = Mesh(cells=cells)
+    dt = 0.01
+    timings = {}
+    for label, fn in (
+        ("optimized", kernel.advance),
+        ("baseline", kernel.advance_reference),
+    ):
+        p = _make_particles(n, mesh)
+        fn(mesh, p, dt)  # warm-up: grows the workspace, touches the pages
+        t0 = time.perf_counter()
+        for _ in range(steps):
+            fn(mesh, p, dt)
+        timings[label] = (time.perf_counter() - t0) / steps
+        del p
+    return dict(
+        name=f"kernel_n{n}",
+        kind="kernel",
+        params=dict(n_particles=n, steps=steps, cells=cells),
+        baseline_s=timings["baseline"],
+        optimized_s=timings["optimized"],
+        speedup=timings["baseline"] / timings["optimized"],
+        pushes_per_sec=n / timings["optimized"],
+    )
+
+
+def _run_sim(spec: PICSpec, cores: int, cost: CostModel) -> tuple[float, float]:
+    """One full simulated-MPI run; returns (wall seconds, simulated seconds)."""
+    from repro.parallel.mpi2d import Mpi2dPIC
+
+    impl = Mpi2dPIC(spec, cores, machine=MachineModel(), cost=cost)
+    t0 = time.perf_counter()
+    result = impl.run()
+    wall = time.perf_counter() - t0
+    if not result.verification.ok:
+        raise RuntimeError(f"perf run failed verification: {result.verification}")
+    return wall, result.total_time
+
+
+def _bench_sim(
+    name: str,
+    kind: str,
+    spec: PICSpec,
+    cores: int,
+    cost: CostModel,
+    baseline_ctx: Callable,
+) -> dict:
+    """Time a full run twice: optimised hot path vs ``baseline_ctx`` patch."""
+    opt_wall, opt_sim = _run_sim(spec, cores, cost)
+    with baseline_ctx():
+        base_wall, base_sim = _run_sim(spec, cores, cost)
+    pushes = spec.n_particles * spec.steps
+    return dict(
+        name=name,
+        kind=kind,
+        params=dict(
+            n_particles=spec.n_particles, steps=spec.steps,
+            cells=spec.cells, cores=cores,
+        ),
+        baseline_s=base_wall,
+        optimized_s=opt_wall,
+        speedup=base_wall / opt_wall,
+        pushes_per_sec=pushes / opt_wall,
+        sim_time_s=opt_sim,
+        sim_time_match=bool(opt_sim == base_sim),
+    )
+
+
+def _fig6_spec(n_particles: int, steps: int) -> PICSpec:
+    return PICSpec(
+        cells=FIG6_CELLS, n_particles=n_particles, steps=steps, r=_FIG6_R
+    )
+
+
+def bench_exchange(n: int, steps: int, cores: int) -> dict:
+    """fig6 shape with only the exchange swapped (kernel optimised both sides)."""
+    spec = _fig6_spec(n, steps)
+    cost = scaled_cost(MachineModel(), 1.0)
+    entry = _bench_sim(
+        f"exchange_n{n}_c{cores}", "exchange", spec, cores, cost,
+        use_legacy_exchange,
+    )
+    return entry
+
+
+@contextmanager
+def _legacy_all():
+    with use_legacy_kernel(), use_legacy_exchange():
+        yield
+
+
+def bench_end_to_end(n: int, steps: int, cores: int) -> dict:
+    """fig6 shape through the full stack, both hot paths swapped together."""
+    spec = _fig6_spec(n, steps)
+    cost = scaled_cost(MachineModel(), 1.0)
+    return _bench_sim(
+        f"end_to_end_n{n}_c{cores}", "end_to_end", spec, cores, cost,
+        _legacy_all,
+    )
+
+
+# ----------------------------------------------------------------------
+# Suite presets
+# ----------------------------------------------------------------------
+def run_suite(preset: str = "full", progress: Callable[[str], None] = print) -> dict:
+    """Run one preset and return the BENCH_wallclock document (a dict)."""
+    if preset == "full":
+        plan = [
+            # The acceptance gates: perf-grade populations where the
+            # allocation churn this PR removes dominates.
+            (lambda: bench_kernel(4_194_304, steps=4), 3.0),
+            (lambda: bench_end_to_end(4_194_304, steps=4, cores=1), 2.5),
+            # Supporting evidence, non-gating.
+            (lambda: bench_kernel(400_000, steps=8), None),
+            (lambda: bench_exchange(400_000, steps=16, cores=4), None),
+            (lambda: bench_end_to_end(24_000, steps=200, cores=4), None),
+        ]
+    elif preset == "smoke":
+        plan = [
+            # CI-sized: gated only relatively, vs the checked-in baseline.
+            (lambda: bench_kernel(400_000, steps=6), None),
+            (lambda: bench_exchange(48_000, steps=20, cores=4), None),
+            (lambda: bench_end_to_end(200_000, steps=4, cores=1), None),
+        ]
+    else:
+        raise ValueError(f"unknown preset: {preset!r}")
+
+    entries = []
+    for fn, gate in plan:
+        entry = fn()
+        entry["gate_min_speedup"] = gate
+        progress(
+            f"  {entry['name']}: {entry['baseline_s'] * 1e3:.1f} ms -> "
+            f"{entry['optimized_s'] * 1e3:.1f} ms  ({entry['speedup']:.2f}x"
+            + (f", gate >={gate}x" if gate else "")
+            + ")"
+        )
+        entries.append(entry)
+    return dict(
+        schema=SCHEMA_VERSION,
+        preset=preset,
+        machine=machine_fingerprint(),
+        entries=entries,
+    )
+
+
+def machine_fingerprint() -> dict:
+    import os
+
+    return dict(
+        platform=platform.platform(),
+        python=platform.python_version(),
+        numpy=np.__version__,
+        cpu_count=os.cpu_count(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistence and gating
+# ----------------------------------------------------------------------
+def save_bench(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    return doc
+
+
+def check_gates(doc: dict) -> list[str]:
+    """Absolute floors: entries whose speedup is below their own gate."""
+    failures = []
+    for e in doc["entries"]:
+        gate = e.get("gate_min_speedup")
+        if gate is not None and e["speedup"] < gate:
+            failures.append(
+                f"{e['name']}: speedup {e['speedup']:.2f}x below gate {gate}x"
+            )
+        if e.get("sim_time_match") is False:
+            failures.append(
+                f"{e['name']}: simulated time diverged between optimised "
+                "and legacy hot paths"
+            )
+    return failures
+
+
+def check_regression(
+    new: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Relative floor: speedup ratios must not drop >tolerance vs baseline.
+
+    Speedups are machine-normalised (both sides of each ratio ran on the
+    same machine), so a baseline recorded elsewhere is still comparable.
+    """
+    failures = []
+    new_by_name = {e["name"]: e for e in new["entries"]}
+    for base_entry in baseline["entries"]:
+        name = base_entry["name"]
+        entry = new_by_name.get(name)
+        if entry is None:
+            failures.append(f"{name}: present in baseline but not in this run")
+            continue
+        floor = base_entry["speedup"] * (1.0 - tolerance)
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {entry['speedup']:.2f}x regressed below "
+                f"{floor:.2f}x (baseline {base_entry['speedup']:.2f}x "
+                f"- {tolerance:.0%})"
+            )
+    return failures

@@ -7,6 +7,11 @@ Subcommands::
     pic-prk trace   --impl ampi --cores 16 --steps 160            # imbalance timeline
     pic-prk trace   --impl ampi --cores 16 --out traces/          # + trace.json etc.
     pic-prk figures fig5 fig6l fig6r fig7                         # regenerate figures
+    pic-prk perf    --preset smoke                                # wall-clock speedups
+
+``run`` and ``perf`` accept ``--profile``: the command runs under cProfile
+and the top 20 functions by cumulative time are printed afterwards — the
+quickest way to see where the harness's wall-clock time goes.
 
 ``trace --out DIR`` additionally records fine-grained spans and metrics and
 writes ``trace.json`` (Chrome/Perfetto format — open at ui.perfetto.dev),
@@ -120,6 +125,20 @@ def _build_impl(args: argparse.Namespace, tracer=None, span_tracer=None, metrics
     )
 
 
+def _maybe_profile(args: argparse.Namespace, fn):
+    """Run ``fn`` — under cProfile, printing the top 20, if ``--profile``."""
+    if not getattr(args, "profile", False):
+        return fn()
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    rc = prof.runcall(fn)
+    print("\n--- cProfile: top 20 by cumulative time ---")
+    pstats.Stats(prof).sort_stats("cumulative").print_stats(20)
+    return rc
+
+
 def cmd_serial(args: argparse.Namespace) -> int:
     result = run_serial(_spec_from(args))
     print(f"spec: {_spec_from(args).describe()}")
@@ -130,7 +149,7 @@ def cmd_serial(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     impl = _build_impl(args)
-    result = impl.run()
+    result = _maybe_profile(args, impl.run)
     print(f"spec: {impl.spec.describe()}")
     print(
         f"{result.implementation} on {result.n_cores} simulated cores: "
@@ -170,6 +189,26 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if result.verification.ok else 1
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.bench import perf
+
+    print(f"wall-clock perf suite (preset={args.preset}):")
+    doc = _maybe_profile(args, lambda: perf.run_suite(args.preset))
+    if args.out:
+        perf.save_bench(doc, args.out)
+        print(f"wrote {args.out}")
+    failures = perf.check_gates(doc)
+    if args.baseline:
+        failures += perf.check_regression(
+            doc, perf.load_bench(args.baseline), args.tolerance
+        )
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("all gates passed")
+    return 1 if failures else 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.bench.figures import main as figures_main
 
@@ -189,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run one parallel implementation")
     _add_spec_args(p)
     _add_parallel_args(p)
+    p.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top 20 by cumulative time",
+    )
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -204,6 +247,30 @@ def build_parser() -> argparse.ArgumentParser:
         "(Chrome/Perfetto), timeline.txt and metrics.json into DIR",
     )
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "perf",
+        help="measure wall-clock speedups of the hot path vs its legacy "
+        "implementation and write BENCH_wallclock.json",
+    )
+    p.add_argument("--preset", choices=["full", "smoke"], default="full")
+    p.add_argument(
+        "--out", default="benchmarks/BENCH_wallclock.json", metavar="FILE",
+        help="output JSON (empty string to skip writing)",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="prior BENCH_wallclock.json to gate speedup ratios against",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative speedup-ratio drop vs --baseline",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top 20 by cumulative time",
+    )
+    p.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.add_argument("names", nargs="+", choices=["fig5", "fig6l", "fig6r", "fig7"])

@@ -19,6 +19,20 @@ cancels *exactly* in IEEE-754 arithmetic, the vertical velocity never picks
 up rounding noise, and the particle ordinate remains exact for any number of
 steps.  (The horizontal component only needs to be accurate to round-off; the
 verification tolerance is 1e-5.)
+
+Fused hot path
+--------------
+:func:`advance` fuses the acceleration and the integrator around a reused
+scratch workspace (:class:`KernelWorkspace`): every intermediate lives in a
+preallocated buffer written with ``out=``, so a steady-state step performs
+zero temporary allocations.  The *sequence of elementwise floating-point
+operations is identical* to the readable reference implementation
+(:func:`advance_reference`): IEEE-754 arithmetic is deterministic per
+operation, so supplying ``out=`` buffers cannot change a single bit of the
+result, and in particular the pairwise accumulation that §III-D's
+axis-of-symmetry exactness argument relies on is preserved.  The test
+``tests/core/test_kernel_fused.py`` pins the two paths bitwise against each
+other.
 """
 
 from __future__ import annotations
@@ -80,10 +94,181 @@ def compute_acceleration(
     return ax, ay
 
 
-def advance(mesh: Mesh, particles: ParticleArray, dt: float) -> None:
+#: Particles per cache block of the fused push.  The 14 scratch rows of one
+#: block occupy ``14 * 16384 * 8 B ≈ 1.8 MB`` — sized to stay resident in a
+#: per-core L2 cache, so the ~50 elementwise passes of a push read and write
+#: hot lines instead of streaming full-population temporaries through DRAM.
+#: Chunking an elementwise computation does not change a single result bit.
+KERNEL_BLOCK = 16384
+
+
+class KernelWorkspace:
+    """Reused scratch buffers for the fused particle push.
+
+    Holds one ``(rows, capacity)`` float64 block; :meth:`rows` returns
+    length-``n`` row views.  Capacity is bounded by :data:`KERNEL_BLOCK`
+    (the push iterates larger populations in cache-sized chunks), so the
+    workspace is small, never shrunk, and a steady-state step loop
+    allocates nothing.  The module keeps one shared instance —
+    :func:`advance` never yields control mid-push, so a single workspace is
+    safe for any number of simulated ranks interleaved by the scheduler.
+    """
+
+    N_ROWS = 14
+    N_BOOL_ROWS = 2
+
+    def __init__(self) -> None:
+        self._block = np.empty((self.N_ROWS, 0), dtype=np.float64)
+        self._bools = np.empty((self.N_BOOL_ROWS, 0), dtype=bool)
+
+    def rows(self, n: int) -> list[np.ndarray]:
+        if self._block.shape[1] < n:
+            self._block = np.empty(
+                (self.N_ROWS, max(n, 2 * self._block.shape[1])), dtype=np.float64
+            )
+        return [self._block[i, :n] for i in range(self.N_ROWS)]
+
+    def bool_rows(self, n: int) -> list[np.ndarray]:
+        if self._bools.shape[1] < n:
+            self._bools = np.empty(
+                (self.N_BOOL_ROWS, max(n, 2 * self._bools.shape[1])), dtype=bool
+            )
+        return [self._bools[i, :n] for i in range(self.N_BOOL_ROWS)]
+
+
+_WORKSPACE = KernelWorkspace()
+
+
+def _corner_force_into(dx, dy, qprod, r2, f, fx_out, fy_out) -> None:
+    """:func:`_corner_force` with every intermediate written into scratch.
+
+    Performs the identical op sequence — ``r2 = dx*dx + dy*dy``,
+    ``f = qprod / (r2 * sqrt(r2))``, ``fx = f*dx``, ``fy = f*dy`` — so the
+    results match the reference bitwise.
+    """
+    np.multiply(dx, dx, out=r2)
+    np.multiply(dy, dy, out=f)
+    np.add(r2, f, out=r2)
+    np.sqrt(r2, out=f)
+    np.multiply(r2, f, out=f)
+    np.divide(qprod, f, out=f)
+    np.multiply(f, dx, out=fx_out)
+    np.multiply(f, dy, out=fy_out)
+
+
+def advance(
+    mesh: Mesh,
+    particles: ParticleArray,
+    dt: float,
+    workspace: KernelWorkspace | None = None,
+) -> None:
     """Advance all particles one time step in place (Eqs. 1-2).
 
     Positions are wrapped back into the periodic domain after the update.
+    Fused implementation: bitwise-identical to :func:`advance_reference`
+    but allocation-free once the workspace is warm, and processed in
+    :data:`KERNEL_BLOCK`-sized chunks so the scratch stays cache-resident.
+    """
+    n = len(particles)
+    if n == 0:
+        return
+    ws = workspace if workspace is not None else _WORKSPACE
+    if n <= KERNEL_BLOCK:
+        _advance_block(
+            mesh, particles.x, particles.y, particles.vx, particles.vy,
+            particles.q, dt, ws,
+        )
+        return
+    x, y, vx, vy, q = (
+        particles.x, particles.y, particles.vx, particles.vy, particles.q
+    )
+    for i in range(0, n, KERNEL_BLOCK):
+        s = slice(i, min(i + KERNEL_BLOCK, n))
+        _advance_block(mesh, x[s], y[s], vx[s], vy[s], q[s], dt, ws)
+
+
+def _advance_block(mesh, x, y, vx, vy, q, dt, ws) -> None:
+    """Fused push of one cache-sized block (mutates x/y/vx/vy in place)."""
+    cell, sgn, rx, ry, rxm, rym, ql, qr, axl, ayl, ax, ay, t0, t1 = ws.rows(
+        len(x)
+    )
+    h = mesh.h
+    exact_h = h == 1.0  # division/multiplication by 1.0 are bitwise no-ops
+
+    # cx = floor(x / h); column parity decides the left-corner charge sign.
+    if exact_h:
+        np.floor(x, out=cell)
+    else:
+        np.divide(x, h, out=cell)
+        np.floor(cell, out=cell)
+    # q_left = where(cx odd, -q, +q) == (1 - 2*(cx mod 2)) * q: the parity
+    # term is exactly 0.0 or 1.0, so the product is a bitwise sign flip.
+    np.mod(cell, 2.0, out=sgn)
+    np.multiply(sgn, -2.0, out=sgn)
+    np.add(sgn, 1.0, out=sgn)
+    np.multiply(sgn, mesh.q, out=sgn)
+    np.multiply(q, sgn, out=ql)
+    np.negative(ql, out=qr)
+    # rx = x - cx*h, ry = y - cy*h (cell-relative position).
+    if not exact_h:
+        np.multiply(cell, h, out=cell)
+    np.subtract(x, cell, out=rx)
+    if exact_h:
+        np.floor(y, out=cell)
+    else:
+        np.divide(y, h, out=cell)
+        np.floor(cell, out=cell)
+        np.multiply(cell, h, out=cell)
+    np.subtract(y, cell, out=ry)
+    np.subtract(rx, h, out=rxm)
+    np.subtract(ry, h, out=rym)
+
+    # Pairwise per-column accumulation (see the exactness note above):
+    # (0,0)+(0,h) into (axl, ayl), then (h,0)+(h,h) into (ax, ay).
+    _corner_force_into(rx, ry, ql, t0, t1, axl, ayl)
+    _corner_force_into(rx, rym, ql, t0, t1, cell, sgn)
+    np.add(axl, cell, out=axl)
+    np.add(ayl, sgn, out=ayl)
+    _corner_force_into(rxm, ry, qr, t0, t1, ax, ay)
+    _corner_force_into(rxm, rym, qr, t0, t1, cell, sgn)
+    np.add(ax, cell, out=ax)
+    np.add(ay, sgn, out=ay)
+    np.add(axl, ax, out=ax)
+    np.add(ayl, ay, out=ay)
+
+    # Integrator (Eqs. 1-2), same op order as the reference.
+    half_dt2 = 0.5 * dt * dt
+    np.multiply(vx, dt, out=t0)
+    np.multiply(ax, half_dt2, out=t1)
+    np.add(t0, t1, out=t0)
+    np.add(x, t0, out=x)
+    np.multiply(vy, dt, out=t0)
+    np.multiply(ay, half_dt2, out=t1)
+    np.add(t0, t1, out=t0)
+    np.add(y, t0, out=y)
+    np.multiply(ax, dt, out=t0)
+    np.add(vx, t0, out=vx)
+    np.multiply(ay, dt, out=t0)
+    np.add(vy, t0, out=vy)
+    # Periodic wrap.  ``np.mod(v, L)`` returns ``v`` bit-for-bit whenever
+    # ``0 <= v < L`` (fmod of a smaller magnitude is exact), so the costly
+    # mod pass is applied only to the few particles that left the domain.
+    L = mesh.L
+    esc, tmp = ws.bool_rows(len(x))
+    for pos in (x, y):
+        np.less(pos, 0.0, out=esc)
+        np.greater_equal(pos, L, out=tmp)
+        np.logical_or(esc, tmp, out=esc)
+        if esc.any():
+            pos[esc] = np.mod(pos[esc], L)
+
+
+def advance_reference(mesh: Mesh, particles: ParticleArray, dt: float) -> None:
+    """Readable reference push: the specification :func:`advance` must match.
+
+    Allocates ~15 temporaries per call; kept for the differential tests and
+    as the "before" side of the wall-clock perf harness
+    (:mod:`repro.bench.perf`).
     """
     if len(particles) == 0:
         return

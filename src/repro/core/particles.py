@@ -25,6 +25,18 @@ For communication, particles are packed into a flat ``(n, 11)`` float64
 buffer (:func:`ParticleArray.pack` / :func:`ParticleArray.from_packed`);
 integer fields round-trip exactly for any realistic problem size (ids below
 2**53).
+
+Storage model (capacity-managed)
+--------------------------------
+Each field attribute is a length-``n`` *view* into a backing array whose
+capacity may exceed ``n``.  The in-place mutators — :meth:`compact`,
+:meth:`extend`, :meth:`extend_packed` — resize the views without
+reallocating the backing store (growing it with amortized doubling only
+when capacity is exhausted), so a steady-state simulation loop performs no
+per-step full-population allocations.  The copy-based API
+(:meth:`select` / :meth:`append` / :meth:`pack`) is retained; the in-place
+methods are element-for-element equivalent to it (see
+tests/core/test_particles_pooled.py).
 """
 
 from __future__ import annotations
@@ -39,6 +51,11 @@ from repro.core.mesh import Mesh
 _FIELDS = ("x", "y", "vx", "vy", "q", "pid", "x0", "y0", "kdisp", "mdisp", "birth")
 assert len(_FIELDS) == PARTICLE_RECORD_FIELDS
 
+#: Fields stored as int64 (round-tripped through float64 on the wire).
+INT_FIELDS = frozenset({"pid", "kdisp", "mdisp", "birth"})
+#: Minimum backing capacity allocated when an empty container first grows.
+_MIN_GROW = 16
+
 
 @dataclass
 class ParticleArray:
@@ -47,6 +64,12 @@ class ParticleArray:
     All arrays share the same length.  Mutating methods operate in place
     where possible; selection methods return new containers holding copies
     (so the originals can be compacted independently).
+
+    The field attributes are views of the logical length ``n`` into backing
+    arrays of capacity ``>= n`` (see module docstring).  In-place arithmetic
+    on the fields (``p.x += ...``) works as usual; code that needs to grow or
+    shrink the container must go through :meth:`extend` /
+    :meth:`extend_packed` / :meth:`compact` so the views stay consistent.
     """
 
     x: np.ndarray
@@ -98,13 +121,20 @@ class ParticleArray:
         )
 
     @classmethod
-    def concatenate(cls, parts: list["ParticleArray"]) -> "ParticleArray":
-        """Concatenate several containers into a new one."""
+    def concatenate(
+        cls, parts: list["ParticleArray"], *, copy: bool = True
+    ) -> "ParticleArray":
+        """Concatenate several containers into a new one.
+
+        With ``copy=False`` a single surviving input is returned *as is*
+        (no defensive copy) — the fast path for callers that immediately
+        discard their inputs, e.g. the particle exchange.
+        """
         parts = [p for p in parts if len(p) > 0]
         if not parts:
             return cls.empty(0)
         if len(parts) == 1:
-            return parts[0].copy()
+            return parts[0] if not copy else parts[0].copy()
         return cls._raw(
             [
                 np.concatenate([getattr(p, name) for p in parts])
@@ -133,6 +163,130 @@ class ParticleArray:
     def append(self, other: "ParticleArray") -> "ParticleArray":
         """Return the concatenation of ``self`` and ``other``."""
         return ParticleArray.concatenate([self, other])
+
+    # ------------------------------------------------------------------
+    # Capacity-managed in-place mutation
+    # ------------------------------------------------------------------
+    def _backing(self) -> list[np.ndarray]:
+        """The backing arrays (field views are prefixes of these).
+
+        Lazily initialized: a container built from plain arrays starts with
+        capacity == length, and only acquires headroom on first growth.
+        """
+        store = self.__dict__.get("_store")
+        if store is None:
+            store = [getattr(self, name) for name in _FIELDS]
+            self.__dict__["_store"] = store
+        return store
+
+    @property
+    def capacity(self) -> int:
+        """Current backing capacity (slots available without reallocating)."""
+        return len(self._backing()[0])
+
+    def _set_length(self, n: int) -> None:
+        """Point every field view at ``backing[:n]``."""
+        d = self.__dict__
+        for name, arr in zip(_FIELDS, self._backing()):
+            d[name] = arr[:n]
+
+    def reserve(self, n_needed: int) -> None:
+        """Grow the backing store to hold at least ``n_needed`` particles.
+
+        Amortized doubling: each reallocation at least doubles capacity, so a
+        sequence of ``extend`` calls costs O(total) copies overall.  Logical
+        content and length are unchanged.
+        """
+        store = self._backing()
+        cap = len(store[0])
+        if cap >= n_needed:
+            return
+        new_cap = max(n_needed, 2 * cap, _MIN_GROW)
+        n = len(self)
+        d = self.__dict__
+        for i, name in enumerate(_FIELDS):
+            grown = np.empty(new_cap, dtype=store[i].dtype)
+            grown[:n] = d[name]
+            store[i] = grown
+            d[name] = grown[:n]
+
+    def compact(self, keep) -> None:
+        """Keep only the particles selected by boolean mask ``keep``, in place.
+
+        A stable partition: survivors retain their relative order, matching
+        ``select(keep)``.  The backing store is not reallocated; when every
+        particle survives this is a no-op (no copies, no allocations).
+        """
+        n = len(self)
+        k = int(np.count_nonzero(keep))
+        if k == n:
+            return
+        store = self._backing()
+        d = self.__dict__
+        for i, name in enumerate(_FIELDS):
+            # RHS fancy indexing materializes the survivors first, so the
+            # overlapping in-place assignment is safe.
+            store[i][:k] = d[name][keep]
+            d[name] = store[i][:k]
+
+    def extend(self, other: "ParticleArray") -> None:
+        """Append ``other``'s particles in place (equivalent to ``append``)."""
+        m = len(other)
+        if m == 0:
+            return
+        n = len(self)
+        self.reserve(n + m)
+        store = self._backing()
+        d = self.__dict__
+        for i, name in enumerate(_FIELDS):
+            store[i][n : n + m] = getattr(other, name)
+            d[name] = store[i][: n + m]
+
+    def extend_packed(self, buf: np.ndarray) -> None:
+        """Append particles from a packed ``(m, 11)`` wire buffer, in place.
+
+        Equivalent to ``append(from_packed(buf))`` — the int64 fields are
+        recovered by the same float64 -> int64 cast — but copies each column
+        exactly once, straight into the backing store.
+        """
+        buf = np.asarray(buf)
+        m = buf.shape[0]
+        if m == 0:
+            return
+        if buf.ndim != 2 or buf.shape[1] != PARTICLE_RECORD_FIELDS:
+            raise ValueError(
+                f"packed particle buffer must be (n, {PARTICLE_RECORD_FIELDS}), "
+                f"got shape {buf.shape}"
+            )
+        n = len(self)
+        self.reserve(n + m)
+        store = self._backing()
+        d = self.__dict__
+        for i, name in enumerate(_FIELDS):
+            # Assignment casts float64 -> int64 the same way .astype does.
+            store[i][n : n + m] = buf[:, i]
+            d[name] = store[i][: n + m]
+
+    def pack_into(self, mask_or_index, out: np.ndarray) -> np.ndarray:
+        """Pack the selected particles into a caller-owned wire buffer.
+
+        ``out`` must be a float64 array of shape ``(cap, 11)`` with
+        ``cap >= n_selected``; the filled prefix ``out[:n_selected]`` is
+        returned (a view).  Element-for-element equivalent to :meth:`pack`,
+        but reuses the destination instead of allocating it.
+        """
+        d = self.__dict__
+        k = None
+        for j, name in enumerate(_FIELDS):
+            col = d[name][mask_or_index]
+            if k is None:
+                k = len(col)
+                if out.shape[0] < k or out.shape[1] != PARTICLE_RECORD_FIELDS:
+                    raise ValueError(
+                        f"wire buffer {out.shape} too small for {k} particles"
+                    )
+            out[:k, j] = col
+        return out[: k or 0]
 
     # ------------------------------------------------------------------
     # Communication packing

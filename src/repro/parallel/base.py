@@ -15,6 +15,13 @@ their owner (periodic, shorter direction), then an allreduce checks global
 settlement.  For the paper's workloads (``2k+1`` smaller than any block
 width) a single iteration suffices, reproducing the baseline's
 nearest-neighbor communication structure.
+
+Hot-path note (docs/performance.md): the exchange mutates the rank's
+:class:`ParticleArray` in place (``compact`` / ``extend_packed``) and packs
+departures into per-rank reused wire buffers (:class:`ExchangeScratch`), so
+a settled step — the common case — performs zero full-population array
+allocations.  None of this changes simulated time, message counts or
+payloads: the golden-trace and differential suites pin that byte-for-byte.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from repro.core import events as ev
 from repro.core import kernel, verification
 from repro.core.initialization import initialize
 from repro.core.mesh import Mesh
-from repro.core.particles import ParticleArray
+from repro.core.particles import PARTICLE_RECORD_FIELDS, ParticleArray
 from repro.core.spec import InjectionEvent, PICSpec
 from repro.decomp.grid import factor_2d, grid_fits_mesh
 from repro.decomp.partition import BlockPartition
@@ -296,7 +303,8 @@ class ParallelPICBase:
                 kernel.advance(mesh, state.particles, spec.dt)
                 state.pushes += n_local
                 state.particles = yield from exchange_particles(
-                    comm, cart, state.partition, mesh, state.particles, cost
+                    comm, cart, state.partition, mesh, state.particles, cost,
+                    scratch=state.scratch,
                 )
                 yield from self.lb_hook(comm, cart, state, t)
                 if len(state.particles) > state.max_particles:
@@ -322,7 +330,7 @@ class ParallelPICBase:
                 )
                 mine = newp.select(owner == cart.rank)
                 if len(mine):
-                    state.particles = state.particles.append(mine)
+                    state.particles.extend(mine)
                     moved += len(mine)
                     if self.metrics is not None:
                         self.metrics.counter("particles.injected").inc(len(mine))
@@ -333,7 +341,7 @@ class ParallelPICBase:
                     state.removed_ids += int(
                         np.sum(state.particles.pid[mask], dtype=np.int64)
                     )
-                    state.particles = state.particles.select(~mask)
+                    state.particles.compact(~mask)
                     moved += n_gone
                     if self.metrics is not None:
                         self.metrics.counter("particles.removed").inc(n_gone)
@@ -380,6 +388,8 @@ class _RankState:
     removed_ids: int = 0
     max_particles: int = 0
     pushes: int = 0
+    #: Reusable exchange buffers (wire + range-test scratch) for this rank.
+    scratch: "ExchangeScratch" = field(default_factory=lambda: ExchangeScratch())
     #: Scratch slot for subclass hooks (sub-communicators, LB bookkeeping).
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -390,6 +400,77 @@ class _RankState:
 # ----------------------------------------------------------------------
 # Particle exchange
 # ----------------------------------------------------------------------
+class ExchangeScratch:
+    """Per-rank reusable buffers backing the zero-churn particle exchange.
+
+    One instance per SPMD rank (a field of :class:`_RankState`) — the
+    exchange generator yields control mid-flight, so a module-level
+    singleton would be clobbered by interleaved ranks.  Holds:
+
+    * four wire buffers, one per (axis, direction), that departures are
+      packed into with :meth:`ParticleArray.pack_into`.  A receiver copies
+      the payload out of the sender's buffer (``extend_packed``) before
+      joining the settlement allreduce, and the sender's next write to the
+      same buffer happens only after that allreduce — so reuse across hops
+      and steps never aliases an in-flight message;
+    * integer / float / bool scratch for the settled fast path: cell
+      indices and ownership range tests are computed with ``out=`` into
+      these, so a step in which no particle migrates allocates nothing.
+    """
+
+    def __init__(self) -> None:
+        self._wire: dict[tuple[int, int], np.ndarray] = {}
+        self._idx = np.empty(0, dtype=np.int64)
+        self._flt = np.empty(0, dtype=np.float64)
+        self._outx = np.empty(0, dtype=bool)
+        self._outy = np.empty(0, dtype=bool)
+        self._tmpb = np.empty(0, dtype=bool)
+
+    def wire(self, axis: int, direction: int, n: int) -> np.ndarray:
+        """The ``(capacity, 11)`` wire buffer for one axis/direction."""
+        buf = self._wire.get((axis, direction))
+        if buf is None or buf.shape[0] < n:
+            cap = max(n, 2 * (buf.shape[0] if buf is not None else 0), 16)
+            buf = np.empty((cap, PARTICLE_RECORD_FIELDS), dtype=np.float64)
+            self._wire[(axis, direction)] = buf
+        return buf
+
+    def _ensure(self, n: int) -> None:
+        if len(self._idx) < n:
+            cap = max(n, 2 * len(self._idx), 16)
+            self._idx = np.empty(cap, dtype=np.int64)
+            self._flt = np.empty(cap, dtype=np.float64)
+            self._outx = np.empty(cap, dtype=bool)
+            self._outy = np.empty(cap, dtype=bool)
+            self._tmpb = np.empty(cap, dtype=bool)
+
+    def cells_into(self, coord: np.ndarray, mesh: Mesh) -> np.ndarray:
+        """``mesh.cell_of(coord)`` computed into reused scratch (same values)."""
+        n = len(coord)
+        self._ensure(n)
+        f = self._flt[:n]
+        idx = self._idx[:n]
+        np.divide(coord, mesh.h, out=f)
+        np.floor(f, out=f)
+        np.copyto(idx, f, casting="unsafe")
+        # np.mod is an identity for indices already in [0, cells); positions
+        # are wrapped, so the floor can only escape that range through the
+        # ``x/h == cells`` rounding edge — pay the integer mod only then.
+        if n and (int(idx.max()) >= mesh.cells or int(idx.min()) < 0):
+            np.mod(idx, mesh.cells, out=idx)
+        return idx
+
+    def out_of_range(self, axis: int, idx, lo: int, hi: int) -> np.ndarray:
+        """Flags (into reused scratch) of cell indices outside ``[lo, hi)``."""
+        n = len(idx)
+        out = (self._outx if axis == 0 else self._outy)[:n]
+        tmp = self._tmpb[:n]
+        np.less(idx, lo, out=out)
+        np.greater_equal(idx, hi, out=tmp)
+        np.logical_or(out, tmp, out=out)
+        return out
+
+
 def exchange_particles(
     comm: Comm,
     cart: CartComm,
@@ -397,67 +478,142 @@ def exchange_particles(
     mesh: Mesh,
     particles: ParticleArray,
     cost: CostModel,
+    scratch: ExchangeScratch | None = None,
 ):
     """Route particles to their owning rank (generator; returns the new set).
 
     Each iteration performs one hop of x routing (both directions) and one
     hop of y routing, then checks global settlement with an allreduce.
     Routing direction per particle is the shorter periodic way around.
+
+    ``particles`` is mutated in place (compact + extend into its pooled
+    backing storage) and also returned, preserving the original
+    return-the-new-set contract.  On the common settled path — nothing
+    leaves or arrives — the ownership check is a range test against the
+    rank's own block bounds written into ``scratch``, and the hop allocates
+    no full-population arrays at all; per-particle owner indices are only
+    computed on the migration path.
     """
     my_px, my_py = cart.coords
     px, py = cart.px, cart.py
+    if scratch is None:
+        scratch = ExchangeScratch()
+    x_lo, x_hi = partition.x_range(my_px)
+    y_lo, y_hi = partition.y_range(my_py)
     while True:
+        # A "clean" hop moved nothing in or out, so that axis's range-test
+        # flags in ``scratch`` are known all-False for the current set and
+        # the settlement count below can skip recomputing them.
+        x_clean = y_clean = False
         if px > 1:
-            particles = yield from _route_axis(
-                comm, cart, particles, mesh, cost,
-                owner_of=partition.x_owner,
-                coord_of=lambda p: p.cell_columns(mesh),
+            particles, x_clean = yield from _route_axis(
+                comm, cart, particles, mesh, cost, scratch,
+                splits=partition.xsplits, lo=x_lo, hi=x_hi,
                 my_index=my_px, n_index=px, axis=0,
                 tag_fwd=TAG_X_RIGHT, tag_bwd=TAG_X_LEFT,
             )
         if py > 1:
-            particles = yield from _route_axis(
-                comm, cart, particles, mesh, cost,
-                owner_of=partition.y_owner,
-                coord_of=lambda p: p.cell_rows(mesh),
+            particles, y_clean = yield from _route_axis(
+                comm, cart, particles, mesh, cost, scratch,
+                splits=partition.ysplits, lo=y_lo, hi=y_hi,
                 my_index=my_py, n_index=py, axis=1,
                 tag_fwd=TAG_Y_UP, tag_bwd=TAG_Y_DOWN,
             )
-        misplaced = _count_misplaced(cart, partition, mesh, particles)
+            if not y_clean:
+                x_clean = False  # the y hop changed the particle set
+        misplaced = _count_misplaced(
+            cart, partition, mesh, particles,
+            scratch=scratch, x_clean=x_clean, y_clean=y_clean,
+        )
         total = yield comm.allreduce(misplaced, op=SUM)
         if total == 0:
             return particles
 
 
-def _count_misplaced(cart, partition, mesh, particles) -> int:
-    if len(particles) == 0:
+def _count_misplaced(
+    cart, partition, mesh, particles, *,
+    scratch: ExchangeScratch | None = None,
+    x_clean: bool = False,
+    y_clean: bool = False,
+) -> int:
+    """Number of local particles whose owning rank is not ``cart.rank``.
+
+    A particle is misplaced iff its cell column is outside the rank's
+    x-range or its cell row is outside the y-range — exactly
+    ``owner_rank != cart.rank`` for a Cartesian-product partition, without
+    materializing per-particle owner indices.  With ``scratch`` the tests
+    run allocation-free; an axis already proven clean is skipped.
+    """
+    n = len(particles)
+    if n == 0:
         return 0
-    owner = partition.owner_rank(
-        particles.cell_columns(mesh), particles.cell_rows(mesh)
-    )
-    return int(np.count_nonzero(owner != cart.rank))
+    if scratch is None:
+        owner = partition.owner_rank(
+            particles.cell_columns(mesh), particles.cell_rows(mesh)
+        )
+        return int(np.count_nonzero(owner != cart.rank))
+    my_px, my_py = cart.coords
+    bad_x = bad_y = None
+    if cart.px > 1 and not x_clean:
+        lo, hi = partition.x_range(my_px)
+        bad_x = scratch.out_of_range(
+            0, scratch.cells_into(particles.x, mesh), lo, hi
+        )
+    if cart.py > 1 and not y_clean:
+        lo, hi = partition.y_range(my_py)
+        bad_y = scratch.out_of_range(
+            1, scratch.cells_into(particles.y, mesh), lo, hi
+        )
+    if bad_x is not None and bad_y is not None:
+        np.logical_or(bad_x, bad_y, out=bad_x)
+        return int(np.count_nonzero(bad_x))
+    if bad_x is not None:
+        return int(np.count_nonzero(bad_x))
+    if bad_y is not None:
+        return int(np.count_nonzero(bad_y))
+    return 0
 
 
 #: Shared zero-particle wire buffer (read-only by convention).
-_EMPTY_BUF = np.empty((0, 11), dtype=np.float64)
+_EMPTY_BUF = np.empty((0, PARTICLE_RECORD_FIELDS), dtype=np.float64)
 
 
 def _route_axis(
-    comm, cart, particles, mesh, cost,
-    *, owner_of, coord_of, my_index, n_index, axis, tag_fwd, tag_bwd,
+    comm, cart, particles, mesh, cost, scratch,
+    *, splits, lo, hi, my_index, n_index, axis, tag_fwd, tag_bwd,
 ):
-    """One forwarding hop along one axis (generator; returns particle set)."""
-    n_fwd = n_bwd = 0
-    if len(particles):
-        owner = owner_of(coord_of(particles))
-        dist = (owner - my_index) % n_index
-        go_fwd = (dist > 0) & (dist <= n_index // 2)
-        go_bwd = dist > n_index // 2
-        n_fwd = int(np.count_nonzero(go_fwd))
-        n_bwd = int(np.count_nonzero(go_bwd))
+    """One forwarding hop along one axis (generator).
 
-    fwd_buf = particles.pack(go_fwd) if n_fwd else _EMPTY_BUF
-    bwd_buf = particles.pack(go_bwd) if n_bwd else _EMPTY_BUF
+    Returns ``(particles, clean)``: ``clean`` means nothing moved in or
+    out, so the axis range-test flags left in ``scratch`` are still valid
+    (and all ``False``) for the returned set.  The sequence of simulated
+    events — pack compute, the two sendrecvs, unpack compute — and their
+    costs/payloads are identical to the historical copy-based hop.
+    """
+    n = len(particles)
+    n_fwd = n_bwd = 0
+    go_fwd = go_bwd = None
+    coord = particles.x if axis == 0 else particles.y
+    if n:
+        idx = scratch.cells_into(coord, mesh)
+        if int(np.count_nonzero(scratch.out_of_range(axis, idx, lo, hi))):
+            # Migration path: someone is off-block, so compute per-particle
+            # owner indices and the shorter periodic direction.
+            owner = np.searchsorted(splits, idx, side="right") - 1
+            dist = (owner - my_index) % n_index
+            go_fwd = (dist > 0) & (dist <= n_index // 2)
+            go_bwd = dist > n_index // 2
+            n_fwd = int(np.count_nonzero(go_fwd))
+            n_bwd = int(np.count_nonzero(go_bwd))
+
+    fwd_buf = (
+        particles.pack_into(go_fwd, scratch.wire(axis, 1, n_fwd))
+        if n_fwd else _EMPTY_BUF
+    )
+    bwd_buf = (
+        particles.pack_into(go_bwd, scratch.wire(axis, -1, n_bwd))
+        if n_bwd else _EMPTY_BUF
+    )
     n_out = n_fwd + n_bwd
     if n_out:
         yield comm.compute(cost.pack_time(n_out))
@@ -474,15 +630,16 @@ def _route_axis(
     )
 
     n_in = len(from_bwd) + len(from_fwd)
-    if n_in == 0:
-        if n_out == 0:
-            return particles
-        return particles.select(~(go_fwd | go_bwd))
-    yield comm.compute(cost.pack_time(n_in))
-    kept = particles.select(~(go_fwd | go_bwd)) if n_out else particles
-    parts = [kept]
-    if len(from_bwd):
-        parts.append(ParticleArray.from_packed(from_bwd))
-    if len(from_fwd):
-        parts.append(ParticleArray.from_packed(from_fwd))
-    return ParticleArray.concatenate(parts)
+    if n_in == 0 and n_out == 0:
+        return particles, True
+    if n_in:
+        yield comm.compute(cost.pack_time(n_in))
+    if n_out:
+        # Explicit kept set: historically this mask was only bound when a
+        # count happened to be non-zero and the no-op path returned early.
+        keep = ~(go_fwd | go_bwd)
+        particles.compact(keep)
+    # Arrival order matches the old [kept, from_bwd, from_fwd] concatenation.
+    particles.extend_packed(from_bwd)
+    particles.extend_packed(from_fwd)
+    return particles, False

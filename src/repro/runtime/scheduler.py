@@ -153,6 +153,11 @@ class Scheduler:
             if len(rank_to_core) != n_ranks:
                 raise RuntimeConfigError("rank_to_core must have one entry per rank")
         self.rank_to_core = rank_to_core
+        # Per-message CPU overheads are constants of the (frozen) cost
+        # model; cache them here so the per-message hot path does not pay
+        # two method calls for every send/recv pair.
+        self._send_overhead_s = self.cost.send_overhead()
+        self._recv_overhead_s = self.cost.recv_overhead()
         #: Optional :class:`repro.instrument.Tracer` — receives spans at
         #: every state transition.  Purely observational: emissions are
         #: guarded with ``is not None`` and never touch simulated state.
@@ -294,7 +299,7 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _do_send(self, r: int, comm: Comm, dst: int, tag, payload, nbytes, ready: deque) -> None:
         dst_world = comm.world_ranks[dst]
-        overhead = self.cost.send_overhead()
+        overhead = self._send_overhead_s
         end = self._occupy(r, overhead)
         if self.tracer is not None and overhead > 0.0:
             self.tracer.record(
@@ -348,7 +353,7 @@ class Scheduler:
                 src=msg.src, tag=msg.tag,
             )
         self.clock[r] = wait_until
-        overhead = self.cost.recv_overhead()
+        overhead = self._recv_overhead_s
         end = self._occupy(r, overhead)
         if self.tracer is not None and overhead > 0.0:
             self.tracer.record(
