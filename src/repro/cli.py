@@ -32,6 +32,7 @@ from typing import Sequence
 from repro.core.simulation import run_serial
 from repro.core.spec import Distribution, PICSpec, Region
 from repro.instrument import (
+    ExecutorTrace,
     MetricsRegistry,
     TraceCollector,
     Tracer,
@@ -39,6 +40,7 @@ from repro.instrument import (
     render_metrics_summary,
     render_rank_timeline,
     write_chrome_trace,
+    write_executor_trace,
     write_metrics,
 )
 from repro.parallel import AmpiPIC, Mpi2dLbPIC, Mpi2dPIC
@@ -96,15 +98,50 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--axes", choices=["x", "y", "xy"], default="x")
     p.add_argument("--overdecomposition", "-d", type=int, default=8)
     p.add_argument("--ampi-interval", type=int, default=25)
+    p.add_argument(
+        "--executor",
+        choices=["serial", "batched", "process"],
+        default=os.environ.get("REPRO_EXECUTOR", "serial"),
+        help="compute-execution backend for the particle push "
+        "(default from REPRO_EXECUTOR, else serial)",
+    )
+    p.add_argument(
+        "--workers", type=int,
+        default=int(os.environ.get("REPRO_WORKERS") or 0),
+        help="worker processes for --executor process "
+        "(0 = one per host core; default from REPRO_WORKERS)",
+    )
 
 
-def _build_impl(args: argparse.Namespace, tracer=None, span_tracer=None, metrics=None):
+def _executor_from(args: argparse.Namespace, exec_tracer=None):
+    """Build the compute-execution backend selected by ``--executor``.
+
+    The caller owns the instance and must ``close()`` it after the run
+    (only the process backend holds real resources — a worker pool and
+    shared-memory segments).
+    """
+    from repro.runtime.executor import make_executor
+
+    return make_executor(
+        getattr(args, "executor", "serial"),
+        workers=getattr(args, "workers", 0),
+        exec_tracer=exec_tracer,
+    )
+
+
+def _build_impl(
+    args: argparse.Namespace,
+    tracer=None,
+    span_tracer=None,
+    metrics=None,
+    executor=None,
+):
     machine = MachineModel()
     cost = CostModel(machine=machine, particle_push_s=args.push_ns * 1e-9)
     spec = _spec_from(args)
     common = dict(
         machine=machine, cost=cost, tracer=tracer,
-        span_tracer=span_tracer, metrics=metrics,
+        span_tracer=span_tracer, metrics=metrics, executor=executor,
     )
     if args.impl == "mpi-2d":
         return Mpi2dPIC(spec, args.cores, **common)
@@ -148,8 +185,21 @@ def cmd_serial(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    impl = _build_impl(args)
-    result = _maybe_profile(args, impl.run)
+    if getattr(args, "profile", False) and args.executor == "process":
+        print(
+            "error: --profile cannot observe worker processes; cProfile only "
+            "sees the parent, so the profile would be misleading. Use "
+            "--executor serial (or batched) to profile, or drop --profile "
+            "to measure the process backend (see docs/performance.md).",
+            file=sys.stderr,
+        )
+        return 2
+    executor = _executor_from(args)
+    impl = _build_impl(args, executor=executor)
+    try:
+        result = _maybe_profile(args, impl.run)
+    finally:
+        executor.close()
     print(f"spec: {impl.spec.describe()}")
     print(
         f"{result.implementation} on {result.n_cores} simulated cores: "
@@ -168,8 +218,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
     tracer = TraceCollector()
     spans = Tracer() if args.out else None
     metrics = MetricsRegistry() if args.out else None
-    impl = _build_impl(args, tracer=tracer, span_tracer=spans, metrics=metrics)
-    result = impl.run()
+    exec_spans = (
+        ExecutorTrace() if args.out and args.executor == "process" else None
+    )
+    executor = _executor_from(args, exec_tracer=exec_spans)
+    impl = _build_impl(
+        args, tracer=tracer, span_tracer=spans, metrics=metrics,
+        executor=executor,
+    )
+    try:
+        result = impl.run()
+    finally:
+        executor.close()
     print(render_imbalance_timeline(tracer))
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -185,6 +245,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {trace_path} (open at https://ui.perfetto.dev)")
         print(f"wrote {timeline_path}")
         print(f"wrote {metrics_path}")
+        if exec_spans is not None:
+            exec_path = os.path.join(args.out, "executor_trace.json")
+            write_executor_trace(exec_spans, exec_path)
+            print(f"wrote {exec_path} (wall-clock worker spans)")
     print(result.verification)
     return 0 if result.verification.ok else 1
 

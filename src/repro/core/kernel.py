@@ -169,19 +169,45 @@ def advance(
     but allocation-free once the workspace is warm, and processed in
     :data:`KERNEL_BLOCK`-sized chunks so the scratch stays cache-resident.
     """
-    n = len(particles)
+    advance_arrays(
+        mesh, particles.x, particles.y, particles.vx, particles.vy,
+        particles.q, dt, workspace=workspace,
+    )
+
+
+def advance_arrays(
+    mesh: Mesh,
+    x: np.ndarray,
+    y: np.ndarray,
+    vx: np.ndarray,
+    vy: np.ndarray,
+    q: np.ndarray,
+    dt: float,
+    workspace: KernelWorkspace | None = None,
+) -> None:
+    """Array-level push: :func:`advance` on bare field segments.
+
+    The executor backends' entry point (:mod:`repro.runtime.executor`):
+    it takes plain ndarrays instead of a :class:`ParticleArray`, so callers
+    can drive it over *any* contiguous segment — a rank's slice, a fused
+    concatenation of several ranks' slices, or a shared-memory view inside
+    a worker process.  Re-entrant when each caller supplies its own
+    ``workspace`` (worker processes must: the module singleton is only safe
+    within one process because the push never yields).  All arguments are
+    picklable (the mesh is a frozen dataclass of scalars), but workers
+    rebuild views from shared-memory descriptors rather than pickling
+    arrays — see :func:`repro.runtime.executor._worker_main`.
+
+    Chunking is per :data:`KERNEL_BLOCK` and elementwise, so segment
+    boundaries never change a result bit.
+    """
+    n = len(x)
     if n == 0:
         return
     ws = workspace if workspace is not None else _WORKSPACE
     if n <= KERNEL_BLOCK:
-        _advance_block(
-            mesh, particles.x, particles.y, particles.vx, particles.vy,
-            particles.q, dt, ws,
-        )
+        _advance_block(mesh, x, y, vx, vy, q, dt, ws)
         return
-    x, y, vx, vy, q = (
-        particles.x, particles.y, particles.vx, particles.vy, particles.q
-    )
     for i in range(0, n, KERNEL_BLOCK):
         s = slice(i, min(i + KERNEL_BLOCK, n))
         _advance_block(mesh, x[s], y[s], vx[s], vy[s], q[s], dt, ws)

@@ -204,11 +204,37 @@ class ParticleArray:
         new_cap = max(n_needed, 2 * cap, _MIN_GROW)
         n = len(self)
         d = self.__dict__
+        alloc = d.get("_allocator")
         for i, name in enumerate(_FIELDS):
-            grown = np.empty(new_cap, dtype=store[i].dtype)
+            if alloc is None:
+                grown = np.empty(new_cap, dtype=store[i].dtype)
+            else:
+                grown = alloc(new_cap, store[i].dtype)
             grown[:n] = d[name]
             store[i] = grown
             d[name] = grown[:n]
+
+    def rebase_backing(self, alloc) -> None:
+        """Move the backing store into allocator-provided memory.
+
+        ``alloc(capacity, dtype)`` must return a writable 1-D array of that
+        capacity — e.g. :meth:`repro.runtime.executor.ShmArena.alloc`, which
+        hands out ``multiprocessing.shared_memory`` views so worker
+        processes can operate on the fields zero-copy.  Current contents
+        are copied once; the allocator is remembered, so later
+        :meth:`reserve` growth stays inside allocator memory and the
+        container never silently migrates back to private pages.
+        """
+        store = self._backing()
+        cap = len(store[0])
+        n = len(self)
+        d = self.__dict__
+        d["_allocator"] = alloc
+        for i, name in enumerate(_FIELDS):
+            moved = alloc(cap, store[i].dtype)
+            moved[:n] = d[name]
+            store[i] = moved
+            d[name] = moved[:n]
 
     def compact(self, keep) -> None:
         """Keep only the particles selected by boolean mask ``keep``, in place.

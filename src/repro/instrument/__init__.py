@@ -35,12 +35,16 @@ from repro.instrument.export import (
     render_metrics_summary,
     render_rank_timeline,
     to_chrome_trace,
+    to_executor_chrome_trace,
     write_chrome_trace,
+    write_executor_trace,
     write_metrics,
 )
 from repro.instrument.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.instrument.spans import (
     CATEGORIES,
+    ExecSpan,
+    ExecutorTrace,
     InstantEvent,
     Span,
     Tracer,
@@ -55,6 +59,8 @@ from repro.instrument.trace import (
 __all__ = [
     "CATEGORIES",
     "Counter",
+    "ExecSpan",
+    "ExecutorTrace",
     "Gauge",
     "Histogram",
     "InstantEvent",
@@ -69,7 +75,9 @@ __all__ = [
     "render_metrics_summary",
     "render_rank_timeline",
     "to_chrome_trace",
+    "to_executor_chrome_trace",
     "validate_spans",
     "write_chrome_trace",
+    "write_executor_trace",
     "write_metrics",
 ]

@@ -21,7 +21,7 @@ import json
 from typing import Any
 
 from repro.instrument.metrics import MetricsRegistry
-from repro.instrument.spans import Tracer, validate_spans
+from repro.instrument.spans import ExecutorTrace, Tracer, validate_spans
 
 
 def _us(seconds: float) -> float:
@@ -101,6 +101,61 @@ def dumps_chrome_trace(tracer: Tracer) -> str:
 def write_chrome_trace(tracer: Tracer, path) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(dumps_chrome_trace(tracer))
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Executor (wall-clock) trace
+# ----------------------------------------------------------------------
+def to_executor_chrome_trace(trace: ExecutorTrace) -> dict[str, Any]:
+    """Chrome-trace object of a process executor's wall-clock spans.
+
+    One synthetic process (pid 0, "executor") with one thread per worker
+    (tid = worker index + 1; the parent's dispatch/merge phases are tid 0).
+    Kept separate from :func:`to_chrome_trace` — these timestamps are host
+    seconds, not simulated time, and must never enter a golden comparison.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name", "ph": "M", "pid": 0, "tid": 0, "ts": 0,
+            "args": {"name": "executor (wall clock)"},
+        }
+    ]
+    for w in trace.workers():
+        events.append(
+            {
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": w + 1,
+                "ts": 0,
+                "args": {"name": "parent" if w < 0 else f"worker {w}"},
+            }
+        )
+    body = [
+        {
+            "name": s.phase,
+            "cat": "executor",
+            "ph": "X",
+            "ts": _us(s.t_start),
+            "dur": _us(s.duration),
+            "pid": 0,
+            "tid": s.worker + 1,
+            "args": {"batch": s.batch, **s.args_dict()},
+        }
+        for s in trace.spans
+    ]
+    body.sort(key=lambda ev: (ev["tid"], ev["ts"], ev["name"]))
+    events.extend(body)
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def write_executor_trace(trace: ExecutorTrace, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                to_executor_chrome_trace(trace),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
         fh.write("\n")
 
 

@@ -177,6 +177,81 @@ class Tracer:
         return busy / total_time
 
 
+# ----------------------------------------------------------------------
+# Executor (wall-clock) spans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecSpan:
+    """One wall-clock interval of the compute-execution backend.
+
+    ``worker`` is the worker index (``-1`` for parent-side phases) and
+    ``batch`` the 1-based batch sequence number.  Deliberately a separate
+    type from :class:`Span`: executor spans live on a *wall-clock* timebase
+    (host seconds since pool start) while :class:`Span` records *simulated*
+    time — mixing the two in one tracer would make golden traces depend on
+    host speed and backend choice.
+    """
+
+    phase: str  # "dispatch" | "execute" | "merge"
+    worker: int
+    batch: int
+    t_start: float
+    t_end: float
+    args: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def args_dict(self) -> dict[str, Any]:
+        return dict(self.args)
+
+
+class ExecutorTrace:
+    """Collects :class:`ExecSpan` records from a process executor.
+
+    Kept outside the golden-trace machinery on purpose: backends must
+    produce byte-identical *simulated* traces, while these wall-clock spans
+    differ on every run.  Export with
+    :func:`repro.instrument.write_executor_trace`.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[ExecSpan] = []
+
+    def record(
+        self,
+        phase: str,
+        worker: int,
+        batch: int,
+        t_start: float,
+        t_end: float,
+        **args: Any,
+    ) -> None:
+        self.spans.append(
+            ExecSpan(
+                phase=phase,
+                worker=worker,
+                batch=batch,
+                t_start=t_start,
+                t_end=t_end,
+                args=tuple(sorted(args.items())),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def workers(self) -> list[int]:
+        return sorted({s.worker for s in self.spans})
+
+    def seconds_by_phase(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.phase] = out.get(s.phase, 0.0) + s.duration
+        return out
+
+
 def validate_spans(spans: Iterable[Span]) -> None:
     """Raise ``ValueError`` on malformed spans (negative duration, bad cat).
 

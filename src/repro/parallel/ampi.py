@@ -44,10 +44,11 @@ class AmpiPIC(ParallelPICBase):
         tracer=None,
         span_tracer=None,
         metrics=None,
+        executor=None,
     ):
         super().__init__(
             spec, n_cores, machine=machine, cost=cost, dims=dims, tracer=tracer,
-            span_tracer=span_tracer, metrics=metrics,
+            span_tracer=span_tracer, metrics=metrics, executor=executor,
         )
         if overdecomposition < 1:
             raise RuntimeConfigError("overdecomposition degree must be >= 1")

@@ -32,7 +32,7 @@ from typing import Any
 import numpy as np
 
 from repro.core import events as ev
-from repro.core import kernel, verification
+from repro.core import verification
 from repro.core.initialization import initialize
 from repro.core.mesh import Mesh
 from repro.core.particles import PARTICLE_RECORD_FIELDS, ParticleArray
@@ -43,6 +43,7 @@ from repro.runtime.cart import CartComm
 from repro.runtime.comm import Comm
 from repro.runtime.costmodel import CostModel
 from repro.runtime.errors import RuntimeConfigError
+from repro.runtime.executor import PushTask
 from repro.runtime.machine import MachineModel
 from repro.runtime.reduce_ops import MAX, SUM
 from repro.runtime.scheduler import Scheduler
@@ -119,6 +120,7 @@ class ParallelPICBase:
         tracer=None,
         span_tracer=None,
         metrics=None,
+        executor=None,
     ):
         if n_cores <= 0:
             raise RuntimeConfigError("need at least one core")
@@ -139,6 +141,10 @@ class ParallelPICBase:
         #: Optional :class:`repro.instrument.MetricsRegistry` — counters,
         #: gauges and histograms fed by every layer of the run.
         self.metrics = metrics
+        #: Optional compute-execution backend
+        #: (:mod:`repro.runtime.executor`); ``None`` lets the scheduler fall
+        #: back to the env-configured process default.
+        self.executor = executor
 
     # ------------------------------------------------------------------
     # Subclass surface
@@ -193,6 +199,7 @@ class ParallelPICBase:
             rank_to_core=self.initial_rank_to_core(),
             tracer=self.span_tracer,
             metrics=self.metrics,
+            executor=self.executor,
         )
         # Per-step load sampling backs both the explicit TraceCollector and
         # the imbalance histogram of the metrics registry.
@@ -299,8 +306,15 @@ class ParallelPICBase:
                     yield from self._apply_events(comm, cart, state, t, injections)
                 n_local = len(state.particles)
                 step_cost = cost.push_time(n_local) + overhead
-                yield comm.compute(step_cost)
-                kernel.advance(mesh, state.particles, spec.dt)
+                # The push is dispatched as a task descriptor instead of run
+                # inline: the scheduler batches all ranks parked here in the
+                # same step and hands them to the executor backend, which
+                # may fuse the kernel calls or fan them out across worker
+                # processes (bitwise-identical either way — see
+                # repro.runtime.executor).
+                yield comm.compute(
+                    step_cost, task=PushTask(mesh, state.particles, spec.dt)
+                )
                 state.pushes += n_local
                 state.particles = yield from exchange_particles(
                     comm, cart, state.partition, mesh, state.particles, cost,

@@ -58,10 +58,11 @@ class Mpi2dLbPIC(ParallelPICBase):
         tracer=None,
         span_tracer=None,
         metrics=None,
+        executor=None,
     ):
         super().__init__(
             spec, n_cores, machine=machine, cost=cost, dims=dims, tracer=tracer,
-            span_tracer=span_tracer, metrics=metrics,
+            span_tracer=span_tracer, metrics=metrics, executor=executor,
         )
         if lb_interval < 1:
             raise RuntimeConfigError("lb_interval must be >= 1")

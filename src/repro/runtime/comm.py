@@ -283,9 +283,15 @@ class Comm:
     # ------------------------------------------------------------------
     # Compute accounting
     # ------------------------------------------------------------------
-    def compute(self, seconds: float) -> ops.ComputeOp:
-        """Charge ``seconds`` of local computation to this rank's clock."""
-        return ops.ComputeOp(seconds)
+    def compute(self, seconds: float, task=None) -> ops.ComputeOp:
+        """Charge ``seconds`` of local computation to this rank's clock.
+
+        With ``task`` (a :class:`repro.runtime.executor.PushTask`) the real
+        work is handed to the scheduler's executor backend, which may batch
+        it with other ranks' simultaneously runnable compute phases; the
+        simulated charge is identical either way.
+        """
+        return ops.ComputeOp(seconds, task)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

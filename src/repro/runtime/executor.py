@@ -1,0 +1,585 @@
+"""Pluggable compute-execution backends for the scheduler's compute op.
+
+The deterministic scheduler interleaves every simulated rank in one Python
+process, so an N-rank run historically used exactly one host core no matter
+how many the machine has.  This module turns the per-step particle push —
+the only data-parallel, cross-rank-independent phase of the PIC loop — into
+*dispatchable work*: rank programs attach a :class:`PushTask` descriptor to
+their compute op instead of running the kernel inline, the scheduler
+collects every simultaneously runnable task into a batch (see
+``Scheduler._flush_compute``), and an :class:`Executor` runs the batch.
+
+Three backends, all bitwise-identical in results, simulated times and
+golden traces (``tests/parallel/test_executor_determinism.py``):
+
+``serial``
+    The reference: runs each task in park order, exactly the work the rank
+    would have done inline.
+
+``batched``
+    Stacks all runnable ranks' particle slices into one staging buffer and
+    drives a single fused :func:`repro.core.kernel.advance_arrays` call over
+    the concatenation.  The kernel is elementwise, so concatenation changes
+    chunk boundaries but not a single result bit; what it does change is the
+    number of numpy ufunc dispatches — ~50 per *batch* instead of ~50 per
+    *rank* — which is where many-small-rank configs (the AMPI VP sweeps)
+    spend their wall clock.
+
+``process``
+    A persistent ``multiprocessing`` worker pool operating on
+    ``multiprocessing.shared_memory`` views of the pooled
+    :class:`~repro.core.particles.ParticleArray` backing stores.  The parent
+    rebases each rank's backing store into a shared-memory arena once
+    (:meth:`ParticleArray.rebase_backing`); after that a steady-state step
+    ships only ``(segment, offset, length)`` descriptors — zero particle
+    bytes cross the pipe in either direction.  Workers mutate the shared
+    pages in place; completion is collected in fixed worker order, so the
+    merge is deterministic.  Results are bitwise identical to serial because
+    each worker runs the very same :func:`advance_arrays` on the very same
+    bytes, and tasks never overlap.
+
+Determinism argument, in one place: the scheduler charges simulated clocks
+when the compute op is *dispatched* (unchanged from the inline days), tasks
+touch only rank-local particle arrays, and every backend leaves each task's
+arrays bitwise equal to a serial in-order execution.  Nothing downstream —
+exchange routing, message sizes, collectives, verification — can observe
+which backend ran.
+
+Shared-memory lifecycle (see docs/performance.md): the arena is a grow-only
+pool of segments with bump allocation; a segment set is recycled wholesale
+when every array previously handed out has been garbage collected (between
+runs, in practice).  The executor unlinks all segments on :meth:`close`,
+and the process-wide default executor registers an ``atexit`` hook.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+import weakref
+from typing import Any
+
+import numpy as np
+
+from repro.core import kernel
+from repro.core.kernel import KernelWorkspace, advance_arrays
+from repro.core.mesh import Mesh
+
+__all__ = [
+    "PushTask",
+    "Executor",
+    "SerialExecutor",
+    "BatchedExecutor",
+    "ProcessExecutor",
+    "ShmArena",
+    "make_executor",
+    "default_executor",
+]
+
+#: Shared-memory offsets are aligned to cache lines.
+_ALIGN = 64
+
+#: Unlinked segments whose mappings could not be closed yet because caller
+#: views were still alive (see :meth:`ShmArena.close`).
+_ZOMBIE_SEGMENTS: list = []
+
+
+class PushTask:
+    """Descriptor of one rank's particle push: the work behind a compute op.
+
+    Carries the *data* of the closure the rank used to run inline
+    (mesh, particle container, dt) rather than opaque Python state, so
+    executors can fuse tasks or ship them to workers.  ``run()`` is the
+    serial reference semantics.
+    """
+
+    __slots__ = ("mesh", "particles", "dt")
+
+    def __init__(self, mesh: Mesh, particles, dt: float):
+        self.mesh = mesh
+        self.particles = particles
+        self.dt = dt
+
+    def run(self, workspace: KernelWorkspace | None = None) -> None:
+        # Dynamic module-attribute call so perf-harness patches of
+        # ``kernel.advance`` (use_legacy_kernel) apply to dispatched tasks.
+        kernel.advance(self.mesh, self.particles, self.dt, workspace)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PushTask(n={len(self.particles)}, dt={self.dt})"
+
+
+class Executor:
+    """Backend interface: run a batch of compute tasks.
+
+    ``batch`` is a list of ``(world_rank, PushTask)`` in the scheduler's
+    deterministic park order.  On return every task's particle arrays must
+    be bitwise identical to running ``task.run()`` serially in that order.
+    """
+
+    name = "?"
+
+    def run_batch(self, batch: list[tuple[int, Any]]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def stats(self) -> dict:
+        """Wall-clock / occupancy counters for reporting (never simulated)."""
+        return {}
+
+
+class SerialExecutor(Executor):
+    """Reference backend: each task inline, in park order."""
+
+    name = "serial"
+
+    def run_batch(self, batch: list[tuple[int, Any]]) -> None:
+        for _rank, task in batch:
+            task.run()
+
+
+class BatchedExecutor(Executor):
+    """Fused backend: one kernel call over the concatenated batch.
+
+    Tasks are grouped by ``(mesh, dt)`` (in practice one group); each
+    group's field arrays are staged contiguously into a persistent buffer,
+    advanced with a single :func:`advance_arrays` call, and copied back per
+    rank segment.  Elementwise kernels are chunk-boundary-agnostic, so the
+    fusion is bitwise exact; the staging copies are two extra passes traded
+    against per-rank ufunc dispatch overhead.
+    """
+
+    name = "batched"
+
+    #: x, y, vx, vy are copied back; q is read-only in the kernel.
+    _N_STAGE_ROWS = 5
+
+    def __init__(self) -> None:
+        self._stage = np.empty((self._N_STAGE_ROWS, 0), dtype=np.float64)
+        self.batches = 0
+        self.fused_tasks = 0
+
+    def run_batch(self, batch: list[tuple[int, Any]]) -> None:
+        groups: dict[tuple, list] = {}
+        order: list[tuple] = []
+        for _rank, task in batch:
+            if len(task.particles) == 0:
+                continue
+            key = (task.mesh, task.dt)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(task)
+        self.batches += 1
+        for key in order:
+            tasks = groups[key]
+            if len(tasks) == 1:
+                tasks[0].run()
+                continue
+            self.fused_tasks += len(tasks)
+            self._run_fused(key[0], key[1], tasks)
+
+    def _run_fused(self, mesh: Mesh, dt: float, tasks: list) -> None:
+        total = sum(len(t.particles) for t in tasks)
+        if self._stage.shape[1] < total:
+            self._stage = np.empty(
+                (self._N_STAGE_ROWS, max(total, 2 * self._stage.shape[1])),
+                dtype=np.float64,
+            )
+        x, y, vx, vy, q = (self._stage[i, :total] for i in range(5))
+        bounds = []
+        o = 0
+        for t in tasks:
+            p = t.particles
+            n = len(p)
+            x[o : o + n] = p.x
+            y[o : o + n] = p.y
+            vx[o : o + n] = p.vx
+            vy[o : o + n] = p.vy
+            q[o : o + n] = p.q
+            bounds.append((o, o + n))
+            o += n
+        advance_arrays(mesh, x, y, vx, vy, q, dt)
+        for t, (a, b) in zip(tasks, bounds):
+            p = t.particles
+            p.x[:] = x[a:b]
+            p.y[:] = y[a:b]
+            p.vx[:] = vx[a:b]
+            p.vy[:] = vy[a:b]
+
+    def stats(self) -> dict:
+        return dict(batches=self.batches, fused_tasks=self.fused_tasks)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory arena
+# ----------------------------------------------------------------------
+class _Segment:
+    __slots__ = ("shm", "size", "base", "offset", "_anchor")
+
+    def __init__(self, shm) -> None:
+        self.shm = shm
+        self.size = shm.size
+        # Anchor a uint8 view to read the mapping's base address; kept
+        # referenced so the memoryview export stays valid for locate().
+        self._anchor = np.frombuffer(shm.buf, dtype=np.uint8)
+        self.base = self._anchor.__array_interface__["data"][0]
+        self.offset = 0
+
+
+class ShmArena:
+    """Grow-only pool of shared-memory segments with bump allocation.
+
+    :meth:`alloc` hands out writable ndarray views into the segments (the
+    allocator signature :class:`~repro.core.particles.ParticleArray`'s
+    ``rebase_backing`` expects).  There is no per-array free; instead the
+    arena keeps weak references to every array it handed out and recycles
+    *all* segments (bump pointers reset) once none of them is alive — which
+    between simulation runs they are not.  :meth:`locate` maps an arena
+    array back to ``(segment_name, byte_offset)`` for worker-side attach.
+    """
+
+    def __init__(self, min_segment_bytes: int = 1 << 22) -> None:
+        self._segments: list[_Segment] = []
+        self._live: list[weakref.ref] = []
+        self._min = int(min_segment_bytes)
+        self._closed = False
+
+    def alloc(self, capacity: int, dtype) -> np.ndarray:
+        if self._closed:
+            raise RuntimeError("allocation from a closed ShmArena")
+        dtype = np.dtype(dtype)
+        nbytes = -(-max(int(capacity), 0) * dtype.itemsize // _ALIGN) * _ALIGN
+        self._reclaim()
+        seg = next(
+            (s for s in self._segments if s.size - s.offset >= nbytes), None
+        )
+        if seg is None:
+            from multiprocessing import shared_memory
+
+            size = max(nbytes, self._min, 2 * (self._segments[-1].size if self._segments else 0))
+            seg = _Segment(shared_memory.SharedMemory(create=True, size=size))
+            self._segments.append(seg)
+        arr = np.frombuffer(
+            seg.shm.buf, dtype=dtype, count=int(capacity), offset=seg.offset
+        )
+        seg.offset += nbytes
+        self._live.append(weakref.ref(arr))
+        return arr
+
+    def _reclaim(self) -> None:
+        self._live = [r for r in self._live if r() is not None]
+        if not self._live:
+            for seg in self._segments:
+                seg.offset = 0
+
+    def locate(self, arr: np.ndarray) -> tuple[str, int] | None:
+        """``(segment_name, byte_offset)`` of an arena-resident array."""
+        ptr = arr.__array_interface__["data"][0]
+        for seg in self._segments:
+            if seg.base <= ptr < seg.base + seg.size:
+                return seg.shm.name, ptr - seg.base
+        return None
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.size for s in self._segments)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._live.clear()
+        for seg in self._segments:
+            seg._anchor = None
+            try:
+                seg.shm.close()
+            except BufferError:
+                # A handed-out view is still alive; parking the handle in
+                # the zombie list keeps its __del__ from firing (and
+                # raising the same BufferError as an unraisable warning)
+                # until the views are gone — the unlink below already
+                # released the name, so nothing leaks past process exit.
+                _ZOMBIE_SEGMENTS.append(seg.shm)
+            try:
+                seg.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _attach_segment(name: str):
+    """Attach to an existing segment without taking cleanup ownership.
+
+    ``track=False`` (3.13+) skips resource-tracker registration entirely.
+    On older Pythons the attach re-registers the name — harmless, because
+    worker processes share the parent's tracker (the fd is inherited on
+    both fork and spawn starts) and registration is a set-add; the parent's
+    ``unlink`` still unregisters exactly once.  Do NOT explicitly
+    unregister here: that would strip the *parent's* registration from the
+    shared tracker and make the later unlink double-unregister.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: tracked attach, see above
+        return shared_memory.SharedMemory(name=name)
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive task descriptors, push particles in place.
+
+    A descriptor is ``(field_locs, n, mesh_args, dt)`` where ``field_locs``
+    is five ``(segment_name, byte_offset)`` pairs for x, y, vx, vy, q.  All
+    work happens through shared-memory views; the reply is only
+    ``(execute_seconds, particles_pushed)``.
+    """
+    segments: dict[str, Any] = {}
+    workspace = KernelWorkspace()
+    mesh_cache: dict[tuple, Mesh] = {}
+    conn.send(("ready", os.getpid()))
+    views = []
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:  # pragma: no cover - parent died
+            break
+        if msg is None:
+            break
+        t0 = time.perf_counter()
+        pushed = 0
+        for field_locs, n, mesh_args, dt in msg:
+            del views[:]
+            for seg_name, off in field_locs:
+                shm = segments.get(seg_name)
+                if shm is None:
+                    shm = _attach_segment(seg_name)
+                    segments[seg_name] = shm
+                views.append(
+                    np.frombuffer(shm.buf, dtype=np.float64, count=n, offset=off)
+                )
+            mesh = mesh_cache.get(mesh_args)
+            if mesh is None:
+                mesh = Mesh(*mesh_args)
+                mesh_cache[mesh_args] = mesh
+            advance_arrays(mesh, *views, dt, workspace=workspace)
+            pushed += n
+        del views[:]
+        conn.send((time.perf_counter() - t0, pushed))
+    for shm in segments.values():
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - view still referenced
+            pass
+    conn.close()
+
+
+def _partition(sizes: list[int], k: int) -> list[list[int]]:
+    """Deterministic LPT: largest task to least-loaded worker, stable ties."""
+    order = sorted(range(len(sizes)), key=lambda i: (-sizes[i], i))
+    loads = [0] * k
+    bins: list[list[int]] = [[] for _ in range(k)]
+    for i in order:
+        b = min(range(k), key=lambda j: (loads[j], j))
+        bins[b].append(i)
+        loads[b] += sizes[i]
+    for b in bins:
+        b.sort()
+    return bins
+
+
+class ProcessExecutor(Executor):
+    """Real-multicore backend: persistent worker pool over shared memory.
+
+    ``workers=0`` means one per host core.  The pool and arena are lazily
+    started on the first batch and survive across runs — benchmark
+    repetitions and whole test suites reuse one warmed pool
+    (``pool_startup_s`` reports the one-time fork/spawn cost separately).
+
+    Optional ``exec_tracer`` (:class:`repro.instrument.ExecutorTrace`)
+    receives per-batch dispatch/execute/merge spans on a *wall-clock*
+    timebase.  They are deliberately kept out of the simulated-time
+    :class:`~repro.instrument.Tracer` so golden traces stay byte-identical
+    across backends and runs.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int = 0,
+        exec_tracer=None,
+        mp_context: str | None = None,
+    ) -> None:
+        self.workers = int(workers) if workers else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        self._ctx_name = mp_context or os.environ.get("REPRO_MP_CONTEXT", "spawn")
+        self.arena = ShmArena()
+        self.exec_tracer = exec_tracer
+        self._procs: list = []
+        self._conns: list = []
+        self._epoch: float | None = None
+        self.pool_startup_s = 0.0
+        self.batches = 0
+        self.tasks_executed = 0
+        self.particles_pushed = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the pool (idempotent); records ``pool_startup_s``."""
+        if self._procs:
+            return
+        import multiprocessing as mp
+
+        t0 = time.perf_counter()
+        ctx = mp.get_context(self._ctx_name)
+        for i in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                name=f"repro-exec-{i}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        for conn in self._conns:
+            conn.recv()  # ready handshake
+        self.pool_startup_s = time.perf_counter() - t0
+        self._epoch = time.perf_counter()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _field_locs(self, particles) -> list[tuple[str, int]]:
+        """Arena locations of the five kernel fields; rebase on first miss."""
+        fields = (particles.x, particles.y, particles.vx, particles.vy, particles.q)
+        locs = [self.arena.locate(a) for a in fields]
+        if any(loc is None for loc in locs):
+            particles.rebase_backing(self.arena.alloc)
+            fields = (particles.x, particles.y, particles.vx, particles.vy, particles.q)
+            locs = [self.arena.locate(a) for a in fields]
+            assert all(loc is not None for loc in locs)
+        return locs
+
+    def run_batch(self, batch: list[tuple[int, Any]]) -> None:
+        work = [(r, t) for r, t in batch if len(t.particles)]
+        if not work:
+            return
+        self.start()
+        t_d0 = self._now()
+        descs = []
+        for _rank, task in work:
+            m = task.mesh
+            descs.append(
+                (
+                    self._field_locs(task.particles),
+                    len(task.particles),
+                    (m.cells, m.h, m.q),
+                    task.dt,
+                )
+            )
+        sizes = [d[1] for d in descs]
+        bins = _partition(sizes, self.workers)
+        used = []
+        for w, idxs in enumerate(bins):
+            if idxs:
+                self._conns[w].send([descs[i] for i in idxs])
+                used.append(w)
+        t_sent = self._now()
+        # Merge: collect completions in fixed worker order.  Workers wrote
+        # disjoint shared-memory regions in place, so "merge" is the
+        # deterministic completion barrier, not a copy.
+        durations: dict[int, float] = {}
+        for w in used:
+            dur, pushed = self._conns[w].recv()
+            durations[w] = dur
+            self.particles_pushed += pushed
+        t_merged = self._now()
+        self.batches += 1
+        self.tasks_executed += len(work)
+        tr = self.exec_tracer
+        if tr is not None:
+            tr.record("dispatch", -1, self.batches, t_d0, t_sent, tasks=len(work))
+            for w in used:
+                tr.record(
+                    "execute", w, self.batches, t_sent, t_sent + durations[w],
+                    tasks=len(bins[w]),
+                )
+            tr.record("merge", -1, self.batches, t_sent, t_merged, tasks=len(used))
+
+    def stats(self) -> dict:
+        return dict(
+            workers=self.workers,
+            pool_startup_s=self.pool_startup_s,
+            batches=self.batches,
+            tasks_executed=self.tasks_executed,
+            particles_pushed=self.particles_pushed,
+            arena_bytes=self.arena.total_bytes,
+        )
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs.clear()
+        self._conns.clear()
+        self.arena.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def make_executor(name: str, workers: int = 0, exec_tracer=None) -> Executor:
+    """Build a backend by name (the CLI's ``--executor`` values)."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "batched":
+        return BatchedExecutor()
+    if name == "process":
+        return ProcessExecutor(workers=workers, exec_tracer=exec_tracer)
+    raise ValueError(f"unknown executor {name!r} (serial, batched, process)")
+
+
+_DEFAULT: Executor | None = None
+
+
+def default_executor() -> Executor:
+    """Process-wide executor from ``REPRO_EXECUTOR`` / ``REPRO_WORKERS``.
+
+    Cached so that every scheduler in the process (e.g. a whole test-suite
+    run under ``REPRO_EXECUTOR=process``) shares one warmed worker pool.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        name = (os.environ.get("REPRO_EXECUTOR") or "serial").strip() or "serial"
+        workers = int(os.environ.get("REPRO_WORKERS") or 0)
+        _DEFAULT = make_executor(name, workers=workers)
+        if isinstance(_DEFAULT, ProcessExecutor):
+            atexit.register(_DEFAULT.close)
+    return _DEFAULT

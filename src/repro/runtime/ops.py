@@ -59,14 +59,23 @@ class SendrecvOp:
 
 
 class ComputeOp:
-    """Charge local compute time to the rank's (and its core's) clock."""
+    """Charge local compute time to the rank's (and its core's) clock.
 
-    __slots__ = ("seconds",)
+    ``task`` optionally carries the *real* work behind the charge as a data
+    descriptor (see :class:`repro.runtime.executor.PushTask`) instead of
+    running it inline before the yield.  The scheduler charges the simulated
+    clock at dispatch exactly as for a bare compute op, parks the rank, and
+    batches all simultaneously-parked tasks to the active executor backend
+    — which may fuse them or fan them out across worker processes.
+    """
 
-    def __init__(self, seconds: float):
+    __slots__ = ("seconds", "task")
+
+    def __init__(self, seconds: float, task=None):
         if seconds < 0:
             raise ValueError("compute time must be non-negative")
         self.seconds = seconds
+        self.task = task
 
 
 class WaitOp:

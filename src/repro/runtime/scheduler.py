@@ -42,6 +42,8 @@ _RUNNABLE = 0
 _BLOCKED_RECV = 1
 _BLOCKED_COLL = 2
 _DONE = 3
+#: Parked on a dispatched compute task awaiting executor flush.
+_BLOCKED_EXEC = 4
 
 
 class _RankState:
@@ -130,6 +132,7 @@ class Scheduler:
         rank_to_core: Sequence[int] | None = None,
         tracer=None,
         metrics=None,
+        executor=None,
     ):
         if n_ranks <= 0:
             raise RuntimeConfigError("need at least one rank")
@@ -174,6 +177,13 @@ class Scheduler:
         self._coll_pool: dict[tuple[int, int], dict[int, ops.CollectiveOp]] = {}
         self._states: list[_RankState] = []
         self.collectives_completed = 0
+        #: Compute-execution backend (:mod:`repro.runtime.executor`).
+        #: ``None`` defers to the process-wide default (REPRO_EXECUTOR env)
+        #: at first use, so plain constructions stay env-configurable.
+        self._executor = executor
+        #: ``(rank, task)`` pairs parked since the last executor flush, in
+        #: deterministic park order.
+        self._pending_exec: list = []
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -202,6 +212,11 @@ class Scheduler:
         states = self._states
         while finished < self.n_ranks:
             if not ready:
+                if self._pending_exec:
+                    # Every runnable rank is parked on a dispatched compute
+                    # task: the batch is maximal, flush it to the executor.
+                    self._flush_compute(ready)
+                    continue
                 self._raise_deadlock()
             r = ready.popleft()
             state = states[r]
@@ -257,17 +272,48 @@ class Scheduler:
         return end
 
     # ------------------------------------------------------------------
+    # Deferred compute execution
+    # ------------------------------------------------------------------
+    def _get_executor(self):
+        if self._executor is None:
+            from repro.runtime.executor import default_executor
+
+            self._executor = default_executor()
+        return self._executor
+
+    def _flush_compute(self, ready: deque) -> None:
+        """Run all parked compute tasks and re-ready their ranks.
+
+        The batch is handed to the executor in park order, and ranks resume
+        in that same order — both deterministic, so every backend yields the
+        identical scheduler interleaving.
+        """
+        batch, self._pending_exec = self._pending_exec, []
+        self._get_executor().run_batch(batch)
+        states = self._states
+        for r, _task in batch:
+            states[r].status = _RUNNABLE
+            ready.append(r)
+
+    # ------------------------------------------------------------------
     # Op dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, r: int, op, ready: deque) -> None:
         if type(op) is ops.ComputeOp:
+            # The simulated charge happens *now*, at dispatch, whether or
+            # not the real work is deferred — so batching tasks to an
+            # executor cannot move a single simulated timestamp.
             end = self._occupy(r, op.seconds)
             if self.tracer is not None and op.seconds > 0.0:
                 self.tracer.record(
                     "compute", "compute", r, self.rank_to_core[r],
                     end - op.seconds, end,
                 )
-            ready.append(r)
+            if op.task is None:
+                ready.append(r)
+            else:
+                self._states[r].status = _BLOCKED_EXEC
+                self._pending_exec.append((r, op.task))
         elif type(op) is ops.SendOp:
             self._do_send(r, op.comm, op.dst, op.tag, op.payload, op.nbytes, ready)
             ready.append(r)
@@ -548,6 +594,7 @@ def run_spmd(
     rank_to_core: Sequence[int] | None = None,
     tracer=None,
     metrics=None,
+    executor=None,
 ) -> SpmdResult:
     """Convenience wrapper: run one program (or one per rank) on ``n_ranks``.
 
@@ -561,6 +608,7 @@ def run_spmd(
         rank_to_core=rank_to_core,
         tracer=tracer,
         metrics=metrics,
+        executor=executor,
     )
     if callable(program):
         programs = [program] * n_ranks

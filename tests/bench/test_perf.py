@@ -115,6 +115,30 @@ class TestDrivers:
         with pytest.raises(ValueError, match="preset"):
             perf.run_suite("huge")
 
+    def test_bench_worker_sweep_entry_shape(self):
+        entry = perf.bench_worker_sweep(
+            2_000, steps=2, cores=2, workers=(1, 2), reps=1
+        )
+        assert entry["kind"] == "workers"
+        assert entry["sim_time_match"] is True
+        assert [r["workers"] for r in entry["rows"]] == [1, 2]
+        for row in entry["rows"]:
+            assert row["wall_s"] > 0
+            assert row["pool_startup_s"] > 0  # reported, never in wall_s
+        assert entry["speedup"] == entry["baseline_s"] / entry["optimized_s"]
+
+    def test_bench_worker_sweep_gate_skipped_without_enough_cpus(self, monkeypatch):
+        """On a host with fewer cpus than the top worker count the speedup
+        gate is recorded as skipped, not failed."""
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        entry = perf.bench_worker_sweep(
+            1_000, steps=2, cores=2, workers=(1, 2), reps=1
+        )
+        assert entry["gate_min_speedup"] is None
+        assert "2 workers" in entry["gate_skipped"]
+
 
 def test_cli_profile_flag(capsys):
     """`run --profile` completes and prints the cProfile table."""
@@ -123,6 +147,9 @@ def test_cli_profile_flag(capsys):
     rc = main([
         "run", "--impl", "mpi-2d", "--cores", "2", "--cells", "16",
         "--particles", "40", "--steps", "2", "--profile",
+        # Pin the executor: profiling rejects the process backend, and the
+        # CI matrix leg sets REPRO_EXECUTOR=process as the default.
+        "--executor", "serial",
     ])
     assert rc == 0
     out = capsys.readouterr().out

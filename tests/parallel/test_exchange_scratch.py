@@ -1,0 +1,58 @@
+"""Coverage for :class:`repro.parallel.base.ExchangeScratch` wire buffers.
+
+Pins the growth policy (``cap = max(n, 2 * prev, 16)``), the per
+``(axis, direction)`` keying, and reuse without reallocation when the
+existing capacity suffices — the invariants the zero-churn exchange in
+``ParallelPICBase._exchange`` relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import PARTICLE_RECORD_FIELDS
+from repro.parallel.base import ExchangeScratch
+
+
+class TestWire:
+    def test_shape_and_dtype(self):
+        buf = ExchangeScratch().wire(0, +1, 5)
+        assert buf.dtype == np.float64
+        assert buf.ndim == 2 and buf.shape[1] == PARTICLE_RECORD_FIELDS
+
+    def test_minimum_capacity_is_16(self):
+        s = ExchangeScratch()
+        assert s.wire(0, +1, 0).shape[0] == 16
+        assert s.wire(1, -1, 3).shape[0] == 16
+
+    def test_reuse_without_realloc_when_capacity_suffices(self):
+        s = ExchangeScratch()
+        first = s.wire(0, +1, 10)
+        again = s.wire(0, +1, 7)
+        assert again is first  # same object: zero-churn steady state
+
+    def test_growth_doubles_previous_capacity(self):
+        s = ExchangeScratch()
+        assert s.wire(0, +1, 10).shape[0] == 16
+        assert s.wire(0, +1, 17).shape[0] == 32  # 2*16 > 17
+        assert s.wire(0, +1, 100).shape[0] == 100  # n > 2*32
+
+    def test_axis_direction_pairs_are_independent(self):
+        s = ExchangeScratch()
+        bufs = {
+            key: s.wire(*key, 20)
+            for key in ((0, +1), (0, -1), (1, +1), (1, -1))
+        }
+        assert len({id(b) for b in bufs.values()}) == 4
+        # Growing one pair leaves the others untouched.
+        grown = s.wire(0, +1, 200)
+        assert grown is not bufs[(0, +1)]
+        for key in ((0, -1), (1, +1), (1, -1)):
+            assert s.wire(*key, 20) is bufs[key]
+
+    def test_contents_survive_reuse_up_to_n(self):
+        """A smaller follow-up request must not clear previously packed rows."""
+        s = ExchangeScratch()
+        buf = s.wire(1, +1, 16)
+        buf[:4] = 7.5
+        assert np.all(s.wire(1, +1, 4)[:4] == 7.5)

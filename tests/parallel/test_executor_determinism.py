@@ -1,0 +1,110 @@
+"""Bitwise determinism of the executor backends (ISSUE 3 satellite).
+
+A fig6-shape config is run with ``serial``, ``batched`` and ``process
+--workers 4``; every backend must produce identical final particle
+positions, id checksums, simulated times and golden traces.  Worker
+(wall-clock) spans are structurally excluded from the comparison: they live
+in a separate :class:`repro.instrument.ExecutorTrace`, never in the
+simulated-time :class:`~repro.instrument.Tracer` that golden traces are
+built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import FIG6_CELLS, rescale_r
+from repro.core.spec import PICSpec
+from repro.instrument import ExecutorTrace, Tracer, dumps_chrome_trace
+from repro.parallel.mpi2d import Mpi2dPIC
+from repro.runtime.executor import make_executor
+
+_SPEC = PICSpec(
+    cells=FIG6_CELLS,
+    n_particles=6_000,
+    steps=3,
+    r=rescale_r(0.999, 2998, FIG6_CELLS),
+)
+_CORES = 4
+
+
+class _CapturingPIC(Mpi2dPIC):
+    """Stashes each rank's final particle set for bitwise comparison."""
+
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
+        self.final = {}
+
+    def _verify(self, comm, state):
+        self.final[comm.rank] = state.particles.copy()
+        return (yield from super()._verify(comm, state))
+
+
+def _run(executor_name: str, workers: int = 0, exec_tracer=None):
+    ex = make_executor(executor_name, workers=workers, exec_tracer=exec_tracer)
+    tracer = Tracer()
+    impl = _CapturingPIC(_SPEC, _CORES, span_tracer=tracer, executor=ex)
+    try:
+        result = impl.run()
+    finally:
+        ex.close()
+    assert result.verification.ok
+    return result, impl.final, dumps_chrome_trace(tracer)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    serial = _run("serial")
+    batched = _run("batched")
+    exec_tracer = ExecutorTrace()
+    process = _run("process", workers=4, exec_tracer=exec_tracer)
+    return {"serial": serial, "batched": batched, "process": process,
+            "exec_tracer": exec_tracer}
+
+
+@pytest.mark.parametrize("other", ["batched", "process"])
+class TestBitwiseAgainstSerial:
+    def test_final_positions_identical(self, runs, other):
+        _, ref, _ = runs["serial"]
+        _, got, _ = runs[other]
+        assert sorted(ref) == sorted(got)
+        for rank in ref:
+            for f in ("x", "y", "vx", "vy", "q", "pid"):
+                np.testing.assert_array_equal(
+                    getattr(ref[rank], f), getattr(got[rank], f),
+                    err_msg=f"rank {rank} field {f} diverged ({other})",
+                )
+
+    def test_id_checksums_identical(self, runs, other):
+        ref_res, *_ = runs["serial"]
+        got_res, *_ = runs[other]
+        assert (
+            got_res.verification.id_checksum == ref_res.verification.id_checksum
+        )
+        assert got_res.verification.n_particles == ref_res.verification.n_particles
+        assert got_res.verification.max_abs_error == ref_res.verification.max_abs_error
+
+    def test_simulated_times_identical(self, runs, other):
+        ref_res, *_ = runs["serial"]
+        got_res, *_ = runs[other]
+        assert got_res.total_time == ref_res.total_time
+        assert got_res.rank_times == ref_res.rank_times
+
+    def test_golden_traces_identical(self, runs, other):
+        """Byte-identical Chrome traces: the executor is invisible in
+        simulated time (worker spans live elsewhere, see module docstring)."""
+        *_, ref_trace = runs["serial"]
+        *_, got_trace = runs[other]
+        assert got_trace == ref_trace
+
+
+def test_worker_spans_recorded_outside_the_golden_trace(runs):
+    tr = runs["exec_tracer"]
+    assert len(tr) > 0
+    phases = {s.phase for s in tr.spans}
+    assert phases == {"dispatch", "execute", "merge"}
+    # One dispatch+merge per batch (= per step here), executes per worker.
+    by_phase = tr.seconds_by_phase()
+    assert all(v >= 0.0 for v in by_phase.values())
+    assert -1 in tr.workers() and max(tr.workers()) >= 0

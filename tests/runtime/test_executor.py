@@ -1,0 +1,289 @@
+"""Unit tests for the compute-execution backends (:mod:`repro.runtime.executor`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import KernelWorkspace, advance, advance_arrays
+from repro.core.mesh import Mesh
+from repro.core.particles import ParticleArray
+from repro.runtime import ops
+from repro.runtime.executor import (
+    BatchedExecutor,
+    ProcessExecutor,
+    PushTask,
+    SerialExecutor,
+    ShmArena,
+    _partition,
+    make_executor,
+)
+from repro.runtime.scheduler import run_spmd
+
+
+def _particles(n: int, mesh: Mesh, seed: int = 3) -> ParticleArray:
+    rng = np.random.default_rng(seed)
+    p = ParticleArray.empty(n)
+    p.x[:] = rng.uniform(0.0, mesh.L, n)
+    p.y[:] = rng.uniform(0.0, mesh.L, n)
+    p.vx[:] = rng.normal(size=n) * 0.1
+    p.vy[:] = rng.normal(size=n) * 0.1
+    p.q[:] = np.where(rng.integers(0, 2, n) == 0, 1.0, -1.0)
+    return p
+
+
+def _push_batch(mesh, dt, sizes, seed0=10):
+    return [
+        (r, PushTask(mesh, _particles(n, mesh, seed=seed0 + r), dt))
+        for r, n in enumerate(sizes)
+    ]
+
+
+def _serial_oracle(mesh, dt, sizes, seed0=10):
+    out = []
+    for r, n in enumerate(sizes):
+        p = _particles(n, mesh, seed=seed0 + r)
+        advance(mesh, p, dt)
+        out.append(p)
+    return out
+
+
+def _assert_fields_equal(p, q):
+    for f in ("x", "y", "vx", "vy", "q", "pid"):
+        np.testing.assert_array_equal(getattr(p, f), getattr(q, f))
+
+
+class TestAdvanceArrays:
+    def test_matches_advance_on_container(self):
+        mesh = Mesh(cells=8)
+        a = _particles(500, mesh)
+        b = a.copy()
+        advance(mesh, a, 0.01)
+        advance_arrays(mesh, b.x, b.y, b.vx, b.vy, b.q, 0.01)
+        _assert_fields_equal(a, b)
+
+    def test_segments_of_concatenation_match(self):
+        """Pushing a concatenation equals pushing the parts: chunk-invariant."""
+        mesh = Mesh(cells=8)
+        parts = [_particles(n, mesh, seed=20 + i) for i, n in enumerate((7, 300, 40))]
+        fused = ParticleArray.concatenate(parts)
+        advance_arrays(mesh, fused.x, fused.y, fused.vx, fused.vy, fused.q, 0.01)
+        o = 0
+        for p in parts:
+            advance(mesh, p, 0.01)
+            n = len(p)
+            np.testing.assert_array_equal(fused.x[o : o + n], p.x)
+            np.testing.assert_array_equal(fused.vy[o : o + n], p.vy)
+            o += n
+
+    def test_own_workspace_is_independent(self):
+        mesh = Mesh(cells=8)
+        a = _particles(100, mesh)
+        b = a.copy()
+        advance_arrays(mesh, a.x, a.y, a.vx, a.vy, a.q, 0.01)
+        advance_arrays(
+            mesh, b.x, b.y, b.vx, b.vy, b.q, 0.01, workspace=KernelWorkspace()
+        )
+        _assert_fields_equal(a, b)
+
+
+class TestPartition:
+    def test_covers_all_items_exactly_once(self):
+        bins = _partition([5, 1, 9, 3, 3, 7], 3)
+        flat = sorted(i for b in bins for i in b)
+        assert flat == list(range(6))
+
+    def test_deterministic(self):
+        sizes = [17, 17, 4, 9, 0, 25]
+        assert _partition(sizes, 4) == _partition(sizes, 4)
+
+    def test_largest_first_balance(self):
+        bins = _partition([10, 10, 1, 1], 2)
+        loads = [sum([10, 10, 1, 1][i] for i in b) for b in bins]
+        assert sorted(loads) == [11, 11]
+
+    def test_more_workers_than_tasks(self):
+        bins = _partition([3], 4)
+        assert bins[0] == [0] and all(not b for b in bins[1:])
+
+
+class TestShmArena:
+    def test_alloc_is_writable_and_located(self):
+        arena = ShmArena(min_segment_bytes=1 << 12)
+        try:
+            a = arena.alloc(100, np.float64)
+            a[:] = np.arange(100.0)
+            loc = arena.locate(a)
+            assert loc is not None
+            name, off = loc
+            assert isinstance(name, str) and off >= 0
+            assert arena.locate(np.zeros(4)) is None
+        finally:
+            del a
+            arena.close()
+
+    def test_offsets_are_aligned(self):
+        arena = ShmArena(min_segment_bytes=1 << 12)
+        try:
+            arrs = [arena.alloc(3, np.float64) for _ in range(4)]
+            offs = [arena.locate(a)[1] for a in arrs]
+            assert all(o % 64 == 0 for o in offs)
+            assert len(set(offs)) == len(offs)  # distinct allocations
+        finally:
+            del arrs
+            arena.close()
+
+    def test_recycles_when_all_arrays_dead(self):
+        arena = ShmArena(min_segment_bytes=1 << 12)
+        try:
+            a = arena.alloc(64, np.float64)
+            first_off = arena.locate(a)[1]
+            bytes_before = arena.total_bytes
+            del a
+            b = arena.alloc(64, np.float64)
+            # Same bump offset reused, no new segment.
+            assert arena.locate(b)[1] == first_off
+            assert arena.total_bytes == bytes_before
+        finally:
+            del b
+            arena.close()
+
+    def test_grows_new_segment_when_full(self):
+        arena = ShmArena(min_segment_bytes=1 << 12)
+        try:
+            a = arena.alloc(400, np.float64)  # ~3.2 KB of the 4 KB segment
+            b = arena.alloc(400, np.float64)  # must open a second segment
+            assert arena.total_bytes > 1 << 12
+            assert arena.locate(a)[0] != arena.locate(b)[0]
+        finally:
+            del a, b
+            arena.close()
+
+    def test_closed_arena_rejects_alloc(self):
+        arena = ShmArena()
+        arena.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.alloc(8, np.float64)
+
+
+class TestRebaseBacking:
+    def test_rebase_preserves_content_and_future_growth(self):
+        arena = ShmArena(min_segment_bytes=1 << 14)
+        try:
+            mesh = Mesh(cells=8)
+            p = _particles(50, mesh)
+            ref = p.copy()
+            p.rebase_backing(arena.alloc)
+            _assert_fields_equal(p, ref)
+            assert arena.locate(p.x) is not None
+            # Growth after rebasing stays arena-resident.
+            p.extend(_particles(300, mesh, seed=9))
+            assert arena.locate(p.x) is not None
+            assert len(p) == 350
+        finally:
+            del p
+            arena.close()
+
+
+class TestBackends:
+    @pytest.mark.parametrize("name", ["serial", "batched"])
+    def test_backend_matches_serial_oracle(self, name):
+        mesh = Mesh(cells=8)
+        sizes = (40, 0, 333, 17)
+        batch = _push_batch(mesh, 0.01, sizes)
+        make_executor(name).run_batch(batch)
+        for (_, task), oracle in zip(batch, _serial_oracle(mesh, 0.01, sizes)):
+            _assert_fields_equal(task.particles, oracle)
+
+    def test_process_backend_matches_serial_oracle(self):
+        mesh = Mesh(cells=8)
+        sizes = (40, 0, 333, 17)
+        batch = _push_batch(mesh, 0.01, sizes)
+        ex = ProcessExecutor(workers=2)
+        try:
+            ex.run_batch(batch)
+        finally:
+            stats = ex.stats()
+            ex.close()
+        for (_, task), oracle in zip(batch, _serial_oracle(mesh, 0.01, sizes)):
+            _assert_fields_equal(task.particles, oracle)
+        assert stats["tasks_executed"] == 3  # empty task skipped
+        assert stats["particles_pushed"] == sum(sizes)
+        assert stats["pool_startup_s"] > 0.0
+
+    def test_process_pool_reused_across_batches(self):
+        mesh = Mesh(cells=8)
+        ex = ProcessExecutor(workers=2)
+        try:
+            ex.run_batch(_push_batch(mesh, 0.01, (50, 60)))
+            startup = ex.pool_startup_s
+            ex.run_batch(_push_batch(mesh, 0.01, (50, 60), seed0=40))
+            assert ex.pool_startup_s == startup  # no re-spawn
+            assert ex.stats()["batches"] == 2
+        finally:
+            ex.close()
+
+    def test_close_is_idempotent(self):
+        ex = ProcessExecutor(workers=1)
+        ex.run_batch(_push_batch(Mesh(cells=8), 0.01, (10,)))
+        ex.close()
+        ex.close()
+
+    def test_batched_stats_count_fusions(self):
+        mesh = Mesh(cells=8)
+        ex = BatchedExecutor()
+        ex.run_batch(_push_batch(mesh, 0.01, (30, 30, 30)))
+        assert ex.stats() == {"batches": 1, "fused_tasks": 3}
+
+    def test_make_executor_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("gpu")
+
+
+class TestSchedulerBatching:
+    def test_compute_tasks_flush_as_one_batch(self):
+        """All ranks parked on the same step's push reach the executor together."""
+        mesh = Mesh(cells=8)
+        seen: list[list[int]] = []
+
+        class Spy(SerialExecutor):
+            def run_batch(self, batch):
+                seen.append([r for r, _ in batch])
+                super().run_batch(batch)
+
+        def program(comm):
+            p = _particles(20, mesh, seed=comm.rank)
+            for _ in range(2):
+                yield comm.compute(1e-6, task=PushTask(mesh, p, 0.01))
+                yield comm.barrier()
+            return len(p)
+
+        result = run_spmd(3, program, executor=Spy())
+        assert result.returns == [20, 20, 20]
+        assert seen == [[0, 1, 2], [0, 1, 2]]
+
+    def test_taskless_compute_unchanged(self):
+        def program(comm):
+            yield comm.compute(1.0)
+            return comm.rank
+
+        result = run_spmd(2, program, executor=SerialExecutor())
+        assert result.total_time == 1.0
+
+    def test_task_runs_before_rank_resumes(self):
+        """The rank observes its own push done immediately after the yield."""
+        mesh = Mesh(cells=8)
+
+        def program(comm):
+            p = _particles(10, mesh, seed=5)
+            before = p.x.copy()
+            yield comm.compute(1e-6, task=PushTask(mesh, p, 0.01))
+            return bool(np.any(p.x != before))
+
+        result = run_spmd(2, program, executor=BatchedExecutor())
+        assert result.returns == [True, True]
+
+    def test_compute_op_carries_task(self):
+        op = ops.ComputeOp(1.0, task="marker")
+        assert op.task == "marker"
+        assert ops.ComputeOp(1.0).task is None

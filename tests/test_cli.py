@@ -117,3 +117,62 @@ class TestCommands:
             "--rotate90",
         ])
         assert rc == 0
+
+
+class TestExecutorFlags:
+    def test_executor_choices(self):
+        args = build_parser().parse_args(["run", "--executor", "batched"])
+        assert args.executor == "batched"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--executor", "gpu"])
+
+    @pytest.mark.parametrize("executor", ["serial", "batched", "process"])
+    def test_run_each_executor(self, executor, capsys):
+        argv = [
+            "run", "--impl", "mpi-2d", "--cores", "4",
+            "--cells", "32", "--particles", "400", "--steps", "4",
+            "--executor", executor,
+        ]
+        if executor == "process":
+            argv += ["--workers", "2"]
+        rc = main(argv)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+
+    def test_profile_with_process_executor_is_rejected(self, capsys):
+        rc = main([
+            "run", "--impl", "mpi-2d", "--cores", "4",
+            "--cells", "32", "--particles", "200", "--steps", "2",
+            "--profile", "--executor", "process",
+        ])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "--profile" in err
+        assert "worker processes" in err
+        assert "docs/performance.md" in err
+
+    def test_profile_with_serial_executor_still_works(self, capsys):
+        rc = main([
+            "run", "--impl", "mpi-2d", "--cores", "2",
+            "--cells", "16", "--particles", "40", "--steps", "2",
+            "--profile", "--executor", "serial",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cProfile" in out
+
+    def test_trace_out_with_process_executor_writes_executor_trace(
+        self, tmp_path, capsys
+    ):
+        outdir = tmp_path / "obs"
+        rc = main([
+            "trace", "--impl", "mpi-2d", "--cores", "4",
+            "--cells", "32", "--particles", "300", "--steps", "4",
+            "--executor", "process", "--workers", "2",
+            "--out", str(outdir),
+        ])
+        assert rc == 0
+        doc = json.loads((outdir / "executor_trace.json").read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert {"dispatch", "execute", "merge"} <= names
