@@ -1,16 +1,35 @@
-"""PUP-style state sizing for VP migration.
+"""PUP (pack/unpack) serialization and sizing for VP state.
 
 AMPI migrates a VP either with isomalloc (move the whole heap) or with
 user-provided pack/unpack (PUP) routines that serialize exactly the live
-state; the paper chose PUP "because it yields higher performance".  The
-byte count a PUP routine would produce is what the migration cost model
-needs: the VP's particle buffer plus its stored subgrid plus a fixed stack/
-bookkeeping footprint.
+state; the paper chose PUP "because it yields higher performance".  This
+module provides both halves of that story:
+
+* :func:`vp_state_bytes` — the byte count the migration *cost model*
+  charges (particles + stored subgrid + fixed footprint);
+* :func:`pack_vp` / :func:`unpack_vp` — a real, byte-exact PUP routine
+  over the VP's live state: the particle buffer, the per-VP RNG stream,
+  the ownership cache (the partition's clean-axis split vectors) and the
+  driver's bookkeeping counters.  The checkpoint/restart subsystem
+  (:mod:`repro.resilience.checkpoint`) stores one packed blob per rank.
+
+The format is canonical — sorted-key JSON header plus the raw float64
+particle buffer — so ``pack_vp(unpack_vp(b)...) == b`` holds bytewise,
+which is what lets resumed runs and checkpoint files be compared for
+bit-identity.
 """
 
 from __future__ import annotations
 
-from repro.core.particles import ParticleArray
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.particles import PARTICLE_RECORD_FIELDS, ParticleArray
+from repro.decomp.partition import BlockPartition
 
 #: Fixed per-VP overhead bytes: thread stack, communicator state, buffers.
 VP_FIXED_BYTES: int = 16 * 1024
@@ -18,6 +37,10 @@ VP_FIXED_BYTES: int = 16 * 1024
 #: Stored bytes per mesh cell of the VP's subgrid (charge value at each
 #: point, as the reference implementation stores it).
 BYTES_PER_CELL: int = 8
+
+#: On-wire PUP blob format: magic, version, little-endian lengths.
+PUP_MAGIC: bytes = b"VPUP"
+PUP_VERSION: int = 2
 
 
 def vp_state_bytes(
@@ -38,4 +61,96 @@ def vp_state_bytes(
         VP_FIXED_BYTES
         + int(particles.nbytes * particle_byte_scale)
         + int(subgrid_cells * cell_byte_scale) * BYTES_PER_CELL
+    )
+
+
+@dataclass
+class VpState:
+    """Decoded contents of one PUP blob (see :func:`unpack_vp`)."""
+
+    particles: ParticleArray
+    rng_state: dict | None = None
+    partition: BlockPartition | None = None
+    counters: dict[str, Any] = field(default_factory=dict)
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a NumPy generator from a ``bit_generator.state`` dict."""
+    bit_cls = getattr(np.random, state["bit_generator"])
+    gen = np.random.Generator(bit_cls())
+    gen.bit_generator.state = state
+    return gen
+
+
+def _canonical_rng_state(rng) -> dict | None:
+    if rng is None:
+        return None
+    state = rng.bit_generator.state if hasattr(rng, "bit_generator") else rng
+    # JSON round-trips lose nothing: PCG64/Philox state dicts hold Python
+    # ints and strings only.
+    return json.loads(json.dumps(state))
+
+
+def pack_vp(
+    particles: ParticleArray,
+    *,
+    rng=None,
+    partition: BlockPartition | None = None,
+    counters: dict[str, Any] | None = None,
+) -> bytes:
+    """Serialize one VP's live state to a canonical byte string.
+
+    ``rng`` may be a :class:`numpy.random.Generator` or an already-extracted
+    ``bit_generator.state`` dict.  ``counters`` must be JSON-serializable
+    (the driver's removed-id sum, push counts, LB accumulators...).
+    """
+    header = {
+        "n": len(particles),
+        "rng": _canonical_rng_state(rng),
+        "partition": None
+        if partition is None
+        else {
+            "cells": int(partition.cells),
+            "xsplits": [int(v) for v in partition.xsplits],
+            "ysplits": [int(v) for v in partition.ysplits],
+        },
+        "counters": counters or {},
+    }
+    hjson = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    body = particles.pack().tobytes()
+    return PUP_MAGIC + struct.pack("<HI", PUP_VERSION, len(hjson)) + hjson + body
+
+
+def unpack_vp(blob: bytes) -> VpState:
+    """Inverse of :func:`pack_vp`; raises ``ValueError`` on malformed blobs."""
+    if blob[:4] != PUP_MAGIC:
+        raise ValueError("not a PUP blob (bad magic)")
+    version, hlen = struct.unpack_from("<HI", blob, 4)
+    if version != PUP_VERSION:
+        raise ValueError(f"unsupported PUP version {version}")
+    off = 4 + 6
+    header = json.loads(blob[off : off + hlen].decode("utf-8"))
+    off += hlen
+    n = int(header["n"])
+    expect = n * PARTICLE_RECORD_FIELDS * 8
+    body = blob[off:]
+    if len(body) != expect:
+        raise ValueError(
+            f"PUP blob truncated: {len(body)} particle bytes, expected {expect}"
+        )
+    buf = np.frombuffer(body, dtype="<f8").reshape(n, PARTICLE_RECORD_FIELDS)
+    particles = ParticleArray.from_packed(buf.copy())
+    part = None
+    if header["partition"] is not None:
+        p = header["partition"]
+        part = BlockPartition(
+            int(p["cells"]),
+            np.asarray(p["xsplits"], dtype=np.int64),
+            np.asarray(p["ysplits"], dtype=np.int64),
+        )
+    return VpState(
+        particles=particles,
+        rng_state=header["rng"],
+        partition=part,
+        counters=header["counters"],
     )

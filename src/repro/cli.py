@@ -8,6 +8,9 @@ Subcommands::
     pic-prk trace   --impl ampi --cores 16 --out traces/          # + trace.json etc.
     pic-prk figures fig5 fig6l fig6r fig7                         # regenerate figures
     pic-prk perf    --preset smoke                                # wall-clock speedups
+    pic-prk run     --impl ampi --faults plan.json --checkpoint-every 25
+    pic-prk resume  --from checkpoints/ckpt_step000050.ckpt       # continue a run
+    pic-prk resilience --preset smoke                             # straggler bench
 
 ``run`` and ``perf`` accept ``--profile``: the command runs under cProfile
 and the top 20 functions by cumulative time are printed afterwards — the
@@ -113,6 +116,54 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="activate a deterministic fault plan (see docs/resilience.md); "
+        "also arms the straggler watch and a default recovery policy",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="checkpoint the full simulation state every N steps (0 = off)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default="checkpoints", metavar="DIR",
+        help="directory for checkpoint files (default: checkpoints)",
+    )
+
+
+def _n_ranks_from(args: argparse.Namespace) -> int:
+    if args.impl == "ampi":
+        return args.cores * args.overdecomposition
+    return args.cores
+
+
+def _resilience_from(args: argparse.Namespace):
+    """Build the ResilienceConfig selected by the CLI flags (or None)."""
+    faults = getattr(args, "faults", None)
+    every = getattr(args, "checkpoint_every", 0)
+    if not faults and every <= 0:
+        return None
+    from repro.resilience import (
+        Checkpointer,
+        FaultPlan,
+        RecoveryPolicy,
+        ResilienceConfig,
+        StragglerWatch,
+    )
+
+    plan = watch = recovery = checkpointer = None
+    if faults:
+        plan = FaultPlan.load(faults)
+        watch = StragglerWatch(_n_ranks_from(args))
+        recovery = RecoveryPolicy()
+    if every > 0:
+        checkpointer = Checkpointer(args.checkpoint_dir, every=every)
+    return ResilienceConfig(
+        plan=plan, watch=watch, checkpointer=checkpointer, recovery=recovery,
+    )
+
+
 def _executor_from(args: argparse.Namespace, exec_tracer=None):
     """Build the compute-execution backend selected by ``--executor``.
 
@@ -135,6 +186,7 @@ def _build_impl(
     span_tracer=None,
     metrics=None,
     executor=None,
+    resilience=None,
 ):
     machine = MachineModel()
     cost = CostModel(machine=machine, particle_push_s=args.push_ns * 1e-9)
@@ -142,6 +194,7 @@ def _build_impl(
     common = dict(
         machine=machine, cost=cost, tracer=tracer,
         span_tracer=span_tracer, metrics=metrics, executor=executor,
+        resilience=resilience,
     )
     if args.impl == "mpi-2d":
         return Mpi2dPIC(spec, args.cores, **common)
@@ -195,7 +248,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
     executor = _executor_from(args)
-    impl = _build_impl(args, executor=executor)
+    resilience = _resilience_from(args)
+    impl = _build_impl(args, executor=executor, resilience=resilience)
     try:
         result = _maybe_profile(args, impl.run)
     finally:
@@ -210,8 +264,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"(ideal {result.ideal_particles_per_core:.0f}), "
         f"messages {result.messages_sent}, bytes {result.bytes_sent}"
     )
+    _report_resilience(resilience)
     print(result.verification)
     return 0 if result.verification.ok else 1
+
+
+def _report_resilience(resilience) -> None:
+    if resilience is None:
+        return
+    if resilience.watch is not None and resilience.watch.stragglers():
+        print(f"stragglers still flagged: {resilience.watch.stragglers()}")
+    ck = resilience.checkpointer
+    if ck is not None and ck.last_path is not None:
+        print(f"latest checkpoint: {ck.last_path}")
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -222,9 +287,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
         ExecutorTrace() if args.out and args.executor == "process" else None
     )
     executor = _executor_from(args, exec_tracer=exec_spans)
+    resilience = _resilience_from(args)
     impl = _build_impl(
         args, tracer=tracer, span_tracer=spans, metrics=metrics,
-        executor=executor,
+        executor=executor, resilience=resilience,
     )
     try:
         result = impl.run()
@@ -273,6 +339,95 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _impl_from_snapshot(snapshot, args: argparse.Namespace):
+    """Rebuild the implementation recorded in a checkpoint's meta block."""
+    from repro.resilience import (
+        Checkpointer,
+        FaultPlan,
+        RecoveryPolicy,
+        ResilienceConfig,
+        StragglerWatch,
+        spec_from_dict,
+    )
+
+    meta = snapshot.meta
+    spec = spec_from_dict(meta["spec"])
+    machine = MachineModel()
+    cost = CostModel(
+        machine=machine, particle_push_s=meta["cost"]["particle_push_s"]
+    )
+    rmeta = meta.get("resilience", {})
+    plan = watch = recovery = checkpointer = None
+    if rmeta.get("plan") is not None:
+        plan = FaultPlan.from_dict(rmeta["plan"])
+    if rmeta.get("watch") is not None:
+        watch = StragglerWatch(snapshot.n_ranks, **rmeta["watch"])
+    if rmeta.get("recovery") is not None:
+        recovery = RecoveryPolicy(**rmeta["recovery"])
+    every = int(rmeta.get("checkpoint_every", 0))
+    if every > 0:
+        checkpointer = Checkpointer(args.checkpoint_dir, every=every)
+    resilience = ResilienceConfig(
+        plan=plan, watch=watch, checkpointer=checkpointer,
+        recovery=recovery, resume=snapshot,
+    )
+
+    executor = _executor_from(args)
+    params = meta.get("params", {})
+    common = dict(
+        machine=machine, cost=cost, dims=tuple(meta["dims"]),
+        executor=executor, resilience=resilience,
+    )
+    impl_name = meta.get("impl")
+    if impl_name == "mpi-2d":
+        impl = Mpi2dPIC(spec, meta["n_cores"], **common)
+    elif impl_name == "mpi-2d-LB":
+        impl = Mpi2dLbPIC(spec, meta["n_cores"], **params, **common)
+    elif impl_name == "ampi":
+        impl = AmpiPIC(spec, meta["n_cores"], **params, **common)
+    else:
+        raise SystemExit(f"checkpoint names unknown implementation {impl_name!r}")
+    return impl, executor, resilience
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.resilience import Snapshot
+
+    snapshot = Snapshot.load(getattr(args, "from"))
+    impl, executor, resilience = _impl_from_snapshot(snapshot, args)
+    print(
+        f"resuming {impl.name} at step {snapshot.next_step}/{impl.spec.steps} "
+        f"({snapshot.n_ranks} ranks on {impl.n_cores} cores)"
+    )
+    try:
+        result = impl.run()
+    finally:
+        executor.close()
+    print(
+        f"{result.implementation} on {result.n_cores} simulated cores: "
+        f"{result.total_time:.4f}s simulated"
+    )
+    _report_resilience(resilience)
+    print(result.verification)
+    return 0 if result.verification.ok else 1
+
+
+def cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.bench import resilience as bench_resilience
+
+    print(f"resilience straggler bench (preset={args.preset}):")
+    doc = bench_resilience.run_suite(args.preset)
+    if args.out:
+        bench_resilience.save_bench(doc, args.out)
+        print(f"wrote {args.out}")
+    failures = bench_resilience.check_gates(doc)
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("all gates passed")
+    return 1 if failures else 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.bench.figures import main as figures_main
 
@@ -292,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run one parallel implementation")
     _add_spec_args(p)
     _add_parallel_args(p)
+    _add_resilience_args(p)
     p.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the top 20 by cumulative time",
@@ -305,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_spec_args(p)
     _add_parallel_args(p)
+    _add_resilience_args(p)
     p.add_argument(
         "--out", metavar="DIR", default=None,
         help="also record spans + metrics and write trace.json "
@@ -335,6 +492,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under cProfile and print the top 20 by cumulative time",
     )
     p.set_defaults(fn=cmd_perf)
+
+    p = sub.add_parser(
+        "resume",
+        help="continue a checkpointed run bitwise-identically to the "
+        "uninterrupted one",
+    )
+    p.add_argument(
+        "--from", required=True, metavar="FILE.ckpt",
+        help="checkpoint file written by --checkpoint-every",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default="checkpoints", metavar="DIR",
+        help="directory for the checkpoints the resumed run keeps taking",
+    )
+    p.add_argument(
+        "--executor", choices=["serial", "batched", "process"],
+        default=os.environ.get("REPRO_EXECUTOR", "serial"),
+    )
+    p.add_argument(
+        "--workers", type=int,
+        default=int(os.environ.get("REPRO_WORKERS") or 0),
+    )
+    p.set_defaults(fn=cmd_resume)
+
+    p = sub.add_parser(
+        "resilience",
+        help="measure how much of a straggler-induced slowdown each "
+        "implementation recovers and write BENCH_resilience.json",
+    )
+    p.add_argument("--preset", choices=["full", "smoke"], default="full")
+    p.add_argument(
+        "--out", default="benchmarks/BENCH_resilience.json", metavar="FILE",
+        help="output JSON (empty string to skip writing)",
+    )
+    p.set_defaults(fn=cmd_resilience)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.add_argument("names", nargs="+", choices=["fig5", "fig6l", "fig6r", "fig7"])

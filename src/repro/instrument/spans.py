@@ -31,8 +31,11 @@ CAT_COMM = "comm"
 CAT_WAIT = "wait"
 CAT_COLLECTIVE = "collective"
 CAT_LB = "lb"
+#: Resilience events: crash recovery spans, message-drop and straggler
+#: flag/clear instants (see repro.resilience).
+CAT_FAULT = "fault"
 
-CATEGORIES = (CAT_COMPUTE, CAT_COMM, CAT_WAIT, CAT_COLLECTIVE, CAT_LB)
+CATEGORIES = (CAT_COMPUTE, CAT_COMM, CAT_WAIT, CAT_COLLECTIVE, CAT_LB, CAT_FAULT)
 
 
 @dataclass(frozen=True)

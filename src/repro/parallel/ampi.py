@@ -45,10 +45,12 @@ class AmpiPIC(ParallelPICBase):
         span_tracer=None,
         metrics=None,
         executor=None,
+        resilience=None,
     ):
         super().__init__(
             spec, n_cores, machine=machine, cost=cost, dims=dims, tracer=tracer,
             span_tracer=span_tracer, metrics=metrics, executor=executor,
+            resilience=resilience,
         )
         if overdecomposition < 1:
             raise RuntimeConfigError("overdecomposition degree must be >= 1")
@@ -82,13 +84,27 @@ class AmpiPIC(ParallelPICBase):
         """User-level scheduling cost of one VP for one step."""
         return self.cost.vp_scheduling_s
 
+    def _checkpoint_params(self):
+        return {
+            "overdecomposition": self.overdecomposition,
+            "lb_interval": self.lb_interval,
+            "stats_s_per_vp": self.stats_s_per_vp,
+        }
+
     def lb_hook(self, comm, cart, state, t):
         state.extra["load"] = state.extra.get("load", 0) + len(state.particles)
-        if (t + 1) % self.lb_interval != 0:
+        # A straggler flag forces an off-interval migrate() round.
+        if not self._lb_due(state, t, self.lb_interval):
             return
         subgrid_cells = self._my_subgrid_cells(cart, state)
         load = float(state.extra["load"])
         state.extra["load"] = 0
+        # With a warmed-up straggler watch, report measured VP step seconds
+        # instead of accumulated particle counts: a VP pinned to a slowed
+        # core then looks heavy and the balancer moves work off that core.
+        watch = self._watch()
+        if watch is not None and watch.ready():
+            load = watch.load(comm.world_rank, load)
         report = yield from migrate(
             comm,
             load,

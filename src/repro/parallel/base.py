@@ -26,11 +26,12 @@ payloads: the golden-trace and differential suites pin that byte-for-byte.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any
 
 import numpy as np
 
+from repro.ampi import pup
 from repro.core import events as ev
 from repro.core import verification
 from repro.core.initialization import initialize
@@ -47,6 +48,7 @@ from repro.runtime.executor import PushTask
 from repro.runtime.machine import MachineModel
 from repro.runtime.reduce_ops import MAX, SUM
 from repro.runtime.scheduler import Scheduler
+from repro.resilience.checkpoint import spec_to_dict
 
 # Message tags of the particle-exchange protocol.
 TAG_X_RIGHT = 101
@@ -121,6 +123,7 @@ class ParallelPICBase:
         span_tracer=None,
         metrics=None,
         executor=None,
+        resilience=None,
     ):
         if n_cores <= 0:
             raise RuntimeConfigError("need at least one core")
@@ -145,6 +148,11 @@ class ParallelPICBase:
         #: (:mod:`repro.runtime.executor`); ``None`` lets the scheduler fall
         #: back to the env-configured process default.
         self.executor = executor
+        #: Optional :class:`repro.resilience.ResilienceConfig` — fault
+        #: plan, straggler watch, checkpointer, recovery policy, resume
+        #: snapshot.  Unlike the instrument hooks, an attached fault plan
+        #: or checkpointer perturbs simulated time (deterministically).
+        self.resilience = resilience
 
     # ------------------------------------------------------------------
     # Subclass surface
@@ -189,7 +197,21 @@ class ParallelPICBase:
                 f"{dims} processor grid does not fit a {self.spec.cells}^2 mesh"
             )
         partition0 = BlockPartition.uniform(self.spec.cells, *dims)
-        locals0 = self._initial_locals(partition0)
+
+        res = self.resilience
+        snapshot = res.resume if res is not None else None
+        checkpointer = res.checkpointer if res is not None else None
+        start_step = 0
+        if snapshot is not None:
+            snapshot.check_compatible(self.name, self.n_ranks, self.n_cores)
+            start_step = snapshot.next_step
+            # Per-rank state comes out of the snapshot blobs; skip the
+            # (possibly expensive) global initialization entirely.
+            locals0 = [ParticleArray.empty(0) for _ in range(self.n_ranks)]
+        else:
+            locals0 = self._initial_locals(partition0)
+        if checkpointer is not None:
+            checkpointer.meta = self._snapshot_meta(dims)
         injections = self._materialize_injections()
 
         scheduler = Scheduler(
@@ -200,6 +222,7 @@ class ParallelPICBase:
             tracer=self.span_tracer,
             metrics=self.metrics,
             executor=self.executor,
+            resilience=res.runtime_hook() if res is not None else None,
         )
         # Per-step load sampling backs both the explicit TraceCollector and
         # the imbalance histogram of the metrics registry.
@@ -209,7 +232,11 @@ class ParallelPICBase:
 
             sampler = TraceCollector()
         programs = [
-            self._make_program(dims, partition0, locals0[r], injections, sampler)
+            self._make_program(
+                dims, partition0, locals0[r], injections, sampler,
+                start_step=start_step, snapshot=snapshot,
+                checkpointer=checkpointer,
+            )
             for r in range(self.n_ranks)
         ]
         spmd = scheduler.run(programs)
@@ -289,7 +316,10 @@ class ParallelPICBase:
     # ------------------------------------------------------------------
     # The SPMD program
     # ------------------------------------------------------------------
-    def _make_program(self, dims, partition0, local0, injections, sampler=None):
+    def _make_program(
+        self, dims, partition0, local0, injections, sampler=None,
+        *, start_step=0, snapshot=None, checkpointer=None,
+    ):
         spec = self.spec
         mesh = self.mesh
         cost = self.cost
@@ -298,9 +328,17 @@ class ParallelPICBase:
         def program(comm: Comm):
             cart = yield comm.create_cart(dims)
             state = _RankState(partition=partition0, particles=local0)
+            state.rng = np.random.default_rng([spec.seed, 7771, comm.world_rank])
             yield from self.setup_hook(comm, cart, state)
+            if snapshot is not None:
+                # Setup (cart creation, sub-communicators) replays from
+                # clock zero; the barrier then lets the first resumed rank
+                # reinstate the captured global clocks/counters before any
+                # post-resume op dispatches.
+                yield comm.barrier()
+                self._restore_rank(comm, snapshot, state)
 
-            for t in range(spec.steps):
+            for t in range(start_step, spec.steps):
                 comm.annotate_step(t)
                 if ev.has_events_at(spec, t):
                     yield from self._apply_events(comm, cart, state, t, injections)
@@ -325,10 +363,112 @@ class ParallelPICBase:
                     state.max_particles = len(state.particles)
                 if sampler is not None:
                     sampler.record(cart.rank, t, len(state.particles), comm.core())
+                if checkpointer is not None and checkpointer.due(t):
+                    yield from self._checkpoint_step(comm, state, t, checkpointer)
 
             return (yield from self._verify(comm, state))
 
         return program
+
+    # ------------------------------------------------------------------
+    # Resilience plumbing (checkpoint/restart, straggler-forced LB)
+    # ------------------------------------------------------------------
+    def _watch(self):
+        """The run's :class:`~repro.resilience.StragglerWatch`, if any."""
+        return self.resilience.watch if self.resilience is not None else None
+
+    def _lb_due(self, state: "_RankState", t: int, interval: int) -> bool:
+        """Is a load-balancing round due after step ``t``?
+
+        True on the regular ``interval`` schedule, and additionally when the
+        straggler watch flagged a rank since the last handled round.  Every
+        rank reaches the same verdict: flags at steps ``<= t`` are complete
+        and identical across ranks once step ``t``'s settlement allreduce
+        has run, and the ``lb_forced`` bookkeeping advances in lockstep.
+        """
+        due = (t + 1) % interval == 0
+        watch = self._watch()
+        if watch is None:
+            return due
+        last = state.extra.get("lb_forced", -1)
+        if due:
+            state.extra["lb_forced"] = t
+        elif watch.straggler_pending(last, t):
+            state.extra["lb_forced"] = t
+            due = True
+        return due
+
+    def _pack_rank(self, state: "_RankState") -> bytes:
+        """This rank's PUP blob: particles, RNG, partition, counters."""
+        counters = {
+            "removed_ids": state.removed_ids,
+            "max_particles": state.max_particles,
+            "pushes": state.pushes,
+            # Numeric hook bookkeeping (LB accumulators, forced-round
+            # cursors); communicators and scratch are rebuilt on resume.
+            "extra": {
+                k: v
+                for k, v in state.extra.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            },
+        }
+        return pup.pack_vp(
+            state.particles,
+            rng=state.rng,
+            partition=state.partition,
+            counters=counters,
+        )
+
+    def _checkpoint_step(self, comm: Comm, state: "_RankState", t: int, ckpt):
+        """End-of-step checkpoint round (generator; consistent cut)."""
+        blob = self._pack_rank(state)
+        yield comm.compute(ckpt.write_seconds(len(blob)))
+        yield comm.barrier()
+        ckpt.contribute(comm._scheduler, comm.world_rank, t, blob, self.n_ranks)
+
+    def _restore_rank(self, comm: Comm, snapshot, state: "_RankState") -> None:
+        """Reinstate this rank's state from its snapshot blob (post-barrier)."""
+        snapshot.apply_global(comm._scheduler)
+        vp = pup.unpack_vp(snapshot.blobs[comm.world_rank])
+        state.particles = vp.particles
+        if vp.partition is not None:
+            state.partition = vp.partition
+        state.removed_ids = int(vp.counters.get("removed_ids", 0))
+        state.max_particles = int(vp.counters.get("max_particles", len(vp.particles)))
+        state.pushes = int(vp.counters.get("pushes", 0))
+        state.extra.update(vp.counters.get("extra", {}))
+        if vp.rng_state is not None:
+            state.rng = pup.rng_from_state(vp.rng_state)
+
+    def _checkpoint_params(self) -> dict:
+        """Implementation tunables stored in checkpoint metadata."""
+        return {}
+
+    def _snapshot_meta(self, dims) -> dict:
+        """Checkpoint ``meta`` block: everything resume needs to rebuild us."""
+        res = self.resilience
+        return {
+            "impl": self.name,
+            "n_cores": self.n_cores,
+            "dims": list(dims),
+            "spec": spec_to_dict(self.spec),
+            "cost": {"particle_push_s": self.cost.particle_push_s},
+            "params": self._checkpoint_params(),
+            "resilience": {
+                "plan": None
+                if res is None or res.plan is None
+                else res.plan.to_dict(),
+                "watch": None
+                if res is None or res.watch is None
+                else res.watch.params_dict(),
+                "recovery": None
+                if res is None or res.recovery is None
+                else asdict(res.recovery),
+                "checkpoint_every": 0
+                if res is None or res.checkpointer is None
+                else res.checkpointer.every,
+            },
+        }
 
     def _apply_events(self, comm, cart: CartComm, state: "_RankState", t, injections):
         """Fire the step's events; injected particles filter by ownership."""
@@ -402,6 +542,9 @@ class _RankState:
     removed_ids: int = 0
     max_particles: int = 0
     pushes: int = 0
+    #: Per-rank RNG stream, seeded from (spec.seed, rank) and checkpointed
+    #: via the PUP blob so resumed runs continue the identical sequence.
+    rng: Any = None
     #: Reusable exchange buffers (wire + range-test scratch) for this rank.
     scratch: "ExchangeScratch" = field(default_factory=lambda: ExchangeScratch())
     #: Scratch slot for subclass hooks (sub-communicators, LB bookkeeping).

@@ -59,10 +59,12 @@ class Mpi2dLbPIC(ParallelPICBase):
         span_tracer=None,
         metrics=None,
         executor=None,
+        resilience=None,
     ):
         super().__init__(
             spec, n_cores, machine=machine, cost=cost, dims=dims, tracer=tracer,
             span_tracer=span_tracer, metrics=metrics, executor=executor,
+            resilience=resilience,
         )
         if lb_interval < 1:
             raise RuntimeConfigError("lb_interval must be >= 1")
@@ -86,8 +88,19 @@ class Mpi2dLbPIC(ParallelPICBase):
         state.extra["col_comm"] = yield cart.sub_y()
         state.extra["row_comm"] = yield cart.sub_x()
 
+    def _checkpoint_params(self):
+        return {
+            "lb_interval": self.lb_interval,
+            "threshold_fraction": self.threshold_fraction,
+            "border_width": self.border_width,
+            "axes": self.axes,
+            "min_width": self.min_width,
+        }
+
     def lb_hook(self, comm, cart, state, t):
-        if (t + 1) % self.lb_interval != 0:
+        # A straggler flag from the resilience watch forces an off-interval
+        # diffusion round (see ParallelPICBase._lb_due).
+        if not self._lb_due(state, t, self.lb_interval):
             return
         state.extra["lb_step"] = t
         if "x" in self.axes and cart.px > 1:
@@ -113,7 +126,15 @@ class Mpi2dLbPIC(ParallelPICBase):
             lo, hi = state.partition.x_range(cart.coords[0])
         span = hi - lo  # my block extent perpendicular to the balanced axis
 
-        block_load = yield along_comm.allreduce(len(state.particles), op=SUM)
+        # Default load: particle count.  With a warmed-up straggler watch,
+        # use measured per-rank step seconds instead — a perturbed (slow)
+        # rank then weighs more than its particle count says, so diffusion
+        # converges to a time-balanced rather than count-balanced split.
+        my_load = float(len(state.particles))
+        watch = self._watch()
+        if watch is not None and watch.ready():
+            my_load = watch.load(comm.world_rank, my_load)
+        block_load = yield along_comm.allreduce(my_load, op=SUM)
         loads = yield across_comm.allgather(block_load)
         loads = np.asarray(loads, dtype=np.float64)
         tau = default_threshold(float(loads.sum()), len(loads), self.threshold_fraction)

@@ -1,0 +1,315 @@
+"""Checkpoint/restart for the simulated PIC runs.
+
+A checkpoint is a *consistent cut*: the drivers end step ``t`` with a
+barrier (after charging the simulated write cost), and every rank
+contributes its packed PUP blob (:func:`repro.ampi.pup.pack_vp`) when it
+resumes.  Because the scheduler is single-threaded and collectives
+synchronize all clocks, the first contribution of a round observes global
+scheduler state (clocks, core clocks, VP->core placement, transport
+counters, straggler-watch state) before any post-barrier op dispatches —
+so the captured cut is exactly the world at the barrier.
+
+On-disk format (versioned, CRC-validated)::
+
+    magic "RPRKCKPT" | u32 version | u64 payload_len | payload | u32 crc32
+
+    payload = u32 header_len | header JSON | rank-0 blob | rank-1 blob ...
+
+The header carries the global scheduler state, per-rank blob sizes, and a
+``meta`` block (spec, implementation, tunables) sufficient for the CLI
+``resume`` subcommand to rebuild the run from the file alone.  Restoring
+(:meth:`Snapshot.load` + the drivers' resume path) continues any of the
+three implementations bitwise-identically to the uninterrupted run:
+positions, checksums, sim clocks and the golden trace from the resumed
+step onward are equal (pinned by tests/resilience/test_resume_equivalence).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import struct
+import zlib
+from typing import Any
+
+from repro.core.spec import (
+    Distribution,
+    InjectionEvent,
+    PICSpec,
+    Region,
+    RemovalEvent,
+)
+from repro.runtime.errors import CheckpointCorruptError
+
+CKPT_MAGIC = b"RPRKCKPT"
+CKPT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Spec (de)serialization — lets a snapshot rebuild its problem instance.
+# ----------------------------------------------------------------------
+def spec_to_dict(spec: PICSpec) -> dict:
+    doc = dataclasses.asdict(spec)
+    doc["distribution"] = spec.distribution.value
+    if spec.patch is not None:
+        doc["patch"] = dataclasses.asdict(spec.patch)
+    events = []
+    for ev in spec.events:
+        d = dataclasses.asdict(ev)
+        d["kind"] = "inject" if isinstance(ev, InjectionEvent) else "remove"
+        events.append(d)
+    doc["events"] = events
+    return doc
+
+
+def spec_from_dict(doc: dict) -> PICSpec:
+    doc = dict(doc)
+    doc["distribution"] = Distribution(doc["distribution"])
+    if doc.get("patch") is not None:
+        doc["patch"] = Region(**doc["patch"])
+    events = []
+    for d in doc.get("events", ()):
+        d = dict(d)
+        kind = d.pop("kind")
+        d["region"] = Region(**d["region"])
+        events.append(InjectionEvent(**d) if kind == "inject" else RemovalEvent(**d))
+    doc["events"] = tuple(events)
+    for key in ("k_choices", "m_choices"):
+        if doc.get(key) is not None:
+            doc[key] = tuple(doc[key])
+    return PICSpec(**doc)
+
+
+# ----------------------------------------------------------------------
+# Global scheduler state capture/restore
+# ----------------------------------------------------------------------
+def _capture_global(scheduler, next_step: int) -> dict:
+    res = getattr(scheduler, "resilience", None)
+    watch = res.watch if res is not None else None
+    return {
+        "next_step": next_step,
+        "clocks": list(scheduler.clock),
+        "rank_busy": list(scheduler.rank_busy),
+        "core_clock": {str(k): v for k, v in scheduler.core_clock.items()},
+        "core_busy": {str(k): v for k, v in scheduler.core_busy.items()},
+        "rank_to_core": list(scheduler.rank_to_core),
+        "messages_sent": scheduler.transport.messages_sent,
+        "bytes_sent": scheduler.transport.bytes_sent,
+        "seq": scheduler.transport._seq,
+        "collectives_completed": scheduler.collectives_completed,
+        "watch": None if watch is None else watch.state_dict(),
+    }
+
+
+class Snapshot:
+    """One parsed checkpoint: global header plus per-rank PUP blobs."""
+
+    def __init__(self, header: dict, blobs: list[bytes]):
+        self.header = header
+        self.blobs = blobs
+        self._applied = False
+
+    # -- convenience accessors ----------------------------------------
+    @property
+    def next_step(self) -> int:
+        return int(self.header["global"]["next_step"])
+
+    @property
+    def meta(self) -> dict:
+        return self.header.get("meta", {})
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.blobs)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Snapshot":
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            raise CheckpointCorruptError(f"cannot read checkpoint {path}: {exc}")
+        if len(raw) < len(CKPT_MAGIC) + 12 + 4:
+            raise CheckpointCorruptError(f"checkpoint {path} is truncated")
+        if raw[: len(CKPT_MAGIC)] != CKPT_MAGIC:
+            raise CheckpointCorruptError(f"{path} is not a checkpoint (bad magic)")
+        off = len(CKPT_MAGIC)
+        version, payload_len = struct.unpack_from("<IQ", raw, off)
+        off += 12
+        if version != CKPT_VERSION:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} has unsupported version {version}"
+            )
+        if len(raw) < off + payload_len + 4:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} is truncated "
+                f"({len(raw) - off - 4} of {payload_len} payload bytes)"
+            )
+        payload = raw[off : off + payload_len]
+        (crc_stored,) = struct.unpack_from("<I", raw, off + payload_len)
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        if crc != crc_stored:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} failed CRC validation "
+                f"(stored {crc_stored:#010x}, computed {crc:#010x})"
+            )
+        (hlen,) = struct.unpack_from("<I", payload, 0)
+        header = json.loads(payload[4 : 4 + hlen].decode("utf-8"))
+        blobs = []
+        cursor = 4 + hlen
+        for size in header["blob_sizes"]:
+            blobs.append(bytes(payload[cursor : cursor + size]))
+            cursor += size
+        return cls(header, blobs)
+
+    def check_compatible(self, impl: str, n_ranks: int, n_cores: int) -> None:
+        meta = self.meta
+        if meta.get("impl") != impl:
+            raise CheckpointCorruptError(
+                f"checkpoint was taken by impl {meta.get('impl')!r}, "
+                f"cannot resume {impl!r}"
+            )
+        if self.n_ranks != n_ranks or meta.get("n_cores") != n_cores:
+            raise CheckpointCorruptError(
+                f"checkpoint geometry ({self.n_ranks} ranks on "
+                f"{meta.get('n_cores')} cores) does not match the run "
+                f"({n_ranks} ranks on {n_cores} cores)"
+            )
+
+    def apply_global(self, scheduler) -> None:
+        """Restore global scheduler state (idempotent; first caller wins).
+
+        Called by every rank right after the resume barrier; the barrier
+        guarantees no post-restore op has dispatched yet when the first
+        caller runs, so clocks, core clocks, placement, transport counters
+        and watch state all come back exactly as captured.
+        """
+        if self._applied:
+            return
+        self._applied = True
+        g = self.header["global"]
+        scheduler.clock[:] = [float(v) for v in g["clocks"]]
+        scheduler.rank_busy[:] = [float(v) for v in g["rank_busy"]]
+        scheduler.core_clock.clear()
+        scheduler.core_clock.update(
+            {int(k): float(v) for k, v in g["core_clock"].items()}
+        )
+        scheduler.core_busy.clear()
+        scheduler.core_busy.update(
+            {int(k): float(v) for k, v in g["core_busy"].items()}
+        )
+        scheduler.rank_to_core[:] = [int(v) for v in g["rank_to_core"]]
+        scheduler.transport.messages_sent = int(g["messages_sent"])
+        scheduler.transport.bytes_sent = int(g["bytes_sent"])
+        scheduler.transport._seq = int(g["seq"])
+        scheduler.collectives_completed = int(g["collectives_completed"])
+        res = getattr(scheduler, "resilience", None)
+        if res is not None and res.watch is not None and g["watch"] is not None:
+            res.watch.load_state(g["watch"])
+        if res is not None and res.checkpointer is not None:
+            # Crash recovery prices the restore from the latest checkpoint's
+            # blob size; the resumed run must see the same sizes the
+            # uninterrupted run had on record at the cut.
+            res.checkpointer.last_blob_bytes = dict(
+                enumerate(self.header["blob_sizes"])
+            )
+
+
+class Checkpointer:
+    """Coordinates periodic/on-demand snapshots across the SPMD ranks.
+
+    ``every=N`` checkpoints at the end of every N-th step (after steps
+    ``N-1, 2N-1, ...``); :meth:`request` arms one extra on-demand snapshot
+    at the next step end.  The simulated write cost per rank is
+    ``fixed_s + blob_bytes / bandwidth`` — checkpointing is a real,
+    costed operation in simulated time, identical in the uninterrupted
+    and resumed runs (the resumed run re-takes the later checkpoints on
+    the same absolute schedule, producing byte-identical files).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        every: int = 0,
+        *,
+        bandwidth: float = 2.0e8,
+        fixed_s: float = 1e-4,
+        meta: dict | None = None,
+    ):
+        if every < 0:
+            raise ValueError("checkpoint interval must be >= 0")
+        if bandwidth <= 0:
+            raise ValueError("checkpoint bandwidth must be positive")
+        self.directory = directory
+        self.every = every
+        self.bandwidth = bandwidth
+        self.fixed_s = fixed_s
+        self.meta = dict(meta or {})
+        self.last_path: str | None = None
+        self.last_blob_bytes: dict[int, int] = {}
+        self._requested = False
+        self._rounds: dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    def request(self) -> None:
+        """Arm one on-demand snapshot at the next step boundary."""
+        self._requested = True
+
+    def due(self, step: int) -> bool:
+        if self._requested:
+            return True
+        return self.every > 0 and (step + 1) % self.every == 0
+
+    def write_seconds(self, nbytes: int) -> float:
+        """Simulated seconds one rank spends serializing+writing its blob."""
+        return self.fixed_s + nbytes / self.bandwidth
+
+    # ------------------------------------------------------------------
+    def contribute(
+        self, scheduler, rank: int, step: int, blob: bytes, n_ranks: int
+    ) -> str | None:
+        """One rank hands over its blob after the checkpoint barrier.
+
+        The first contributor of a round captures the global state; the
+        last writes the file and returns its path (others return None).
+        """
+        rnd = self._rounds.get(step)
+        if rnd is None:
+            rnd = self._rounds[step] = {
+                "global": _capture_global(scheduler, step + 1),
+                "blobs": {},
+            }
+        rnd["blobs"][rank] = blob
+        self.last_blob_bytes[rank] = len(blob)
+        if len(rnd["blobs"]) < n_ranks:
+            return None
+        del self._rounds[step]
+        self._requested = False
+        path = self._write(step, rnd)
+        self.last_path = path
+        return path
+
+    def _write(self, step: int, rnd: dict) -> str:
+        blobs = [rnd["blobs"][r] for r in range(len(rnd["blobs"]))]
+        header = {
+            "global": rnd["global"],
+            "blob_sizes": [len(b) for b in blobs],
+            "meta": self.meta,
+        }
+        hjson = json.dumps(header, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        payload = struct.pack("<I", len(hjson)) + hjson + b"".join(blobs)
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(self.directory, f"ckpt_step{step + 1:06d}.ckpt")
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(CKPT_MAGIC)
+            fh.write(struct.pack("<IQ", CKPT_VERSION, len(payload)))
+            fh.write(payload)
+            fh.write(struct.pack("<I", crc))
+        os.replace(tmp, path)
+        return path

@@ -1,0 +1,267 @@
+"""Deterministic fault plans for the simulated runtime.
+
+A :class:`FaultPlan` is a seedable schedule of perturbations — per-rank or
+per-core slowdown factors with start/stop steps, transient message
+delay/drop-with-retry on the simulated transport, and one-shot rank crash
+events.  The scheduler consults a :class:`FaultInjector` built from the
+plan at dispatch time, so every perturbation lands at a deterministic
+point of the simulated execution: two runs with the same plan produce
+byte-identical clocks, traces and verification results.
+
+Determinism is achieved without any mutable RNG inside the scheduler:
+probabilistic decisions (message drops) hash the plan seed together with
+stable per-message coordinates (source, destination, global send counter,
+attempt number) into a uniform variate.  Because the send counter is part
+of checkpointed state, a resumed run replays exactly the same drop
+decisions as the uninterrupted one.
+
+Faults perturb *simulated time only*.  Payloads are never lost — a
+"dropped" message is charged retry latency and then delivered — so the
+kernel's closed-form verification (Eqs. 5-6 plus the n(n+1)/2 id
+checksum) passes under any plan.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+_MASK = (1 << 64) - 1
+
+
+def unit_hash(seed: int, *coords: int) -> float:
+    """Deterministic uniform variate in [0, 1) from integer coordinates.
+
+    A splitmix64-style mixer — pure Python, platform-independent, and
+    stateless, which is what lets fault decisions replay identically after
+    a checkpoint restore.
+    """
+    h = (seed * 0x9E3779B97F4A7C15) & _MASK
+    for v in coords:
+        h = (h ^ ((v + 0x9E3779B97F4A7C15) & _MASK)) & _MASK
+        h = (h * 0xBF58476D1CE4E5B9) & _MASK
+        h ^= h >> 27
+        h = (h * 0x94D049BB133111EB) & _MASK
+        h ^= h >> 31
+    return (h & _MASK) / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class SlowdownFault:
+    """Multiply compute time of one rank (or one core) by ``factor``.
+
+    Active for steps ``start <= step < stop`` (``stop=None`` means until
+    the end of the run).  Targeting a ``core`` perturbs whatever ranks are
+    mapped there when they dispatch compute — the right model for AMPI,
+    where VPs can migrate off a slow node; targeting a ``rank`` follows
+    the rank wherever it is placed.
+    """
+
+    factor: float
+    start: int = 0
+    stop: int | None = None
+    rank: int | None = None
+    core: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        if (self.rank is None) == (self.core is None):
+            raise ValueError("slowdown targets exactly one of rank= or core=")
+        if self.start < 0 or (self.stop is not None and self.stop <= self.start):
+            raise ValueError("slowdown window must satisfy 0 <= start < stop")
+
+    def active(self, step: int) -> bool:
+        return step >= self.start and (self.stop is None or step < self.stop)
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Perturb point-to-point messages between ``src`` and ``dst`` ranks.
+
+    ``delay_s`` is added to the wire time of every matching message;
+    ``drop_prob`` is the per-attempt probability that a transmission is
+    lost and retried after ``retry_s`` (at most ``max_retries`` losses per
+    message, so a message always gets through).  ``src``/``dst`` of
+    ``None`` match any world rank.  Active for ``start <= step < stop``
+    of the *sender's* current step.
+    """
+
+    delay_s: float = 0.0
+    drop_prob: float = 0.0
+    retry_s: float = 1e-4
+    src: int | None = None
+    dst: int | None = None
+    start: int = 0
+    stop: int | None = None
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0 or self.retry_s < 0:
+            raise ValueError("message delay/retry times must be non-negative")
+        if not 0.0 <= self.drop_prob < 1.0:
+            raise ValueError("drop_prob must be in [0, 1)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.start < 0 or (self.stop is not None and self.stop <= self.start):
+            raise ValueError("message-fault window must satisfy 0 <= start < stop")
+
+    def matches(self, src: int, dst: int, step: int) -> bool:
+        if self.src is not None and self.src != src:
+            return False
+        if self.dst is not None and self.dst != dst:
+            return False
+        return step >= self.start and (self.stop is None or step < self.stop)
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """One-shot failure of ``rank`` when it reaches ``step``.
+
+    ``retries`` is the number of failed restart attempts the recovery
+    policy charges (exponential backoff) before the rank comes back from
+    the latest checkpoint.  Without a recovery policy the crash raises
+    :class:`repro.runtime.errors.RankFailedError` instead.
+    """
+
+    rank: int
+    step: int
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rank < 0 or self.step < 0:
+            raise ValueError("crash rank and step must be non-negative")
+        if self.retries < 0:
+            raise ValueError("crash retries must be non-negative")
+
+
+_FAULT_KINDS = {
+    "slowdown": SlowdownFault,
+    "msg": MessageFault,
+    "crash": CrashFault,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered tuple of fault events.
+
+    Serializes to the JSON schema documented in docs/resilience.md::
+
+        {"seed": 7, "faults": [
+            {"kind": "slowdown", "core": 0, "factor": 4.0, "start": 10},
+            {"kind": "msg", "src": 0, "delay_s": 1e-4, "drop_prob": 0.05},
+            {"kind": "crash", "rank": 2, "step": 30, "retries": 2}]}
+    """
+
+    seed: int = 0
+    faults: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        for f in self.faults:
+            if not isinstance(f, tuple(_FAULT_KINDS.values())):
+                raise ValueError(f"unknown fault entry {f!r}")
+
+    # ------------------------------------------------------------------
+    # (De)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = []
+        for f in self.faults:
+            for kind, cls in _FAULT_KINDS.items():
+                if type(f) is cls:
+                    d = {"kind": kind}
+                    d.update(
+                        (k, v) for k, v in f.__dict__.items() if v is not None
+                    )
+                    out.append(d)
+                    break
+        return {"seed": self.seed, "faults": out}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        faults = []
+        for entry in doc.get("faults", ()):
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            fcls = _FAULT_KINDS.get(kind)
+            if fcls is None:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            faults.append(fcls(**entry))
+        return cls(seed=int(doc.get("seed", 0)), faults=tuple(faults))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+class FaultInjector:
+    """Stateless evaluator of a :class:`FaultPlan`.
+
+    All methods are pure functions of (plan, arguments); the injector
+    keeps no mutable state, so checkpoint/restore needs nothing from it.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._slow = tuple(f for f in plan.faults if type(f) is SlowdownFault)
+        self._msg = tuple(f for f in plan.faults if type(f) is MessageFault)
+        self._crash: dict[tuple[int, int], CrashFault] = {
+            (f.rank, f.step): f for f in plan.faults if type(f) is CrashFault
+        }
+
+    def compute_scale(self, rank: int, core: int, step: int) -> float:
+        """Combined slowdown factor for a compute dispatch (1.0 = none)."""
+        scale = 1.0
+        for f in self._slow:
+            if f.active(step) and (
+                (f.rank is not None and f.rank == rank)
+                or (f.core is not None and f.core == core)
+            ):
+                scale *= f.factor
+        return scale
+
+    def message_penalty(
+        self, src: int, dst: int, step: int, key: int
+    ) -> tuple[float, int]:
+        """Extra wire seconds and drop count for one message.
+
+        ``key`` must be unique and replayable per message (the transport's
+        global send counter); it seeds the per-attempt drop decisions.
+        """
+        extra = 0.0
+        drops = 0
+        for i, f in enumerate(self._msg):
+            if not f.matches(src, dst, step):
+                continue
+            extra += f.delay_s
+            if f.drop_prob > 0.0:
+                for attempt in range(f.max_retries):
+                    if (
+                        unit_hash(self.plan.seed, i, src, dst, key, attempt)
+                        >= f.drop_prob
+                    ):
+                        break
+                    extra += f.retry_s
+                    drops += 1
+        return extra, drops
+
+    def crash_at(self, rank: int, step: int) -> CrashFault | None:
+        return self._crash.get((rank, step))
+
+    @property
+    def has_message_faults(self) -> bool:
+        return bool(self._msg)

@@ -63,15 +63,16 @@ class Comm:
         return self._scheduler.clock[self.world_rank]
 
     def annotate_step(self, step: int) -> None:
-        """Stamp this rank's subsequent trace spans with ``step``.
+        """Mark the top of time step ``step`` for this rank.
 
-        Non-yielding and free in simulated time: it only updates the
-        observational tracer (if any), never the simulated state — drivers
-        call it unconditionally at the top of each time step.
+        Non-yielding; drivers call it unconditionally at the top of each
+        time step.  Updates the observational tracer stamp and the
+        scheduler's per-rank step counter.  Without a resilience hook this
+        is free in simulated time; with one, step boundaries are where
+        crash events fire and straggler observations are taken (see
+        :meth:`repro.runtime.scheduler.Scheduler.notify_step`).
         """
-        tracer = self._scheduler.tracer
-        if tracer is not None:
-            tracer.set_step(self.world_rank, step)
+        self._scheduler.notify_step(self.world_rank, step)
 
     def _count_op(self, name: str) -> None:
         """Bump the per-operation metrics counter (observational only)."""

@@ -23,3 +23,29 @@ class CollectiveMismatchError(RuntimeError):
 
 class RuntimeConfigError(ValueError):
     """Invalid runtime configuration (rank counts, machine geometry, ...)."""
+
+
+class RankFailedError(RuntimeError):
+    """A rank hit a fault-plan crash event with no recovery policy in place.
+
+    Carries the failed ``rank`` and the ``step`` at which the crash fired so
+    harnesses can report (and tests can assert) exactly which perturbation
+    killed the run.  With a recovery policy attached, the same event is
+    instead absorbed as simulated restart time (see repro.resilience).
+    """
+
+    def __init__(self, rank: int, step: int, detail: str = ""):
+        self.rank = rank
+        self.step = step
+        msg = f"rank {rank} crashed at step {step} (fault plan)"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint file failed validation (CRC mismatch, truncation, ...).
+
+    Raised by :meth:`repro.resilience.Snapshot.load` before any state is
+    touched, so a damaged checkpoint can never half-restore a run.
+    """

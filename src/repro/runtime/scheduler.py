@@ -133,6 +133,7 @@ class Scheduler:
         tracer=None,
         metrics=None,
         executor=None,
+        resilience=None,
     ):
         if n_ranks <= 0:
             raise RuntimeConfigError("need at least one rank")
@@ -167,8 +168,20 @@ class Scheduler:
         self.tracer = tracer
         #: Optional :class:`repro.instrument.MetricsRegistry`, same contract.
         self.metrics = metrics
+        #: Optional :class:`repro.resilience.RuntimeResilience` hook bundle.
+        #: Unlike tracer/metrics this one is *not* purely observational: an
+        #: attached fault plan perturbs simulated time (deterministically).
+        self.resilience = resilience
         self.transport = Transport(n_ranks, metrics=metrics)
         self.clock = [0.0] * n_ranks
+        #: Current step of each rank (-1 before the first annotation),
+        #: maintained by :meth:`notify_step` — fault windows and straggler
+        #: observations are keyed on it.
+        self.step = [-1] * n_ranks
+        #: Cumulative seconds each *rank* occupied its core.  Per-rank
+        #: busy time is the straggler signal: rank clocks synchronize at
+        #: every collective, busy time does not.
+        self.rank_busy = [0.0] * n_ranks
         self.core_clock: dict[int, float] = {}
         #: Cumulative seconds each core spent occupied (compute + message
         #: CPU overheads); feeds the core-busy-fraction metric.
@@ -195,6 +208,20 @@ class Scheduler:
     def next_comm_id(self) -> int:
         self._comm_counter += 1
         return self._comm_counter
+
+    def notify_step(self, rank: int, step: int) -> None:
+        """A rank entered ``step`` (called via ``Comm.annotate_step``).
+
+        Updates the tracer's step stamp and the per-rank step counter, and
+        gives the resilience hooks their step-boundary callback (straggler
+        observation, crash events) — the only path through which a fault
+        plan can charge time outside an op dispatch.
+        """
+        self.step[rank] = step
+        if self.tracer is not None:
+            self.tracer.set_step(rank, step)
+        if self.resilience is not None:
+            self.resilience.on_step_boundary(self, rank, step)
 
     def run(self, programs: Sequence[Callable[[Comm], Any]]) -> SpmdResult:
         """Execute one program per rank until every rank returns."""
@@ -269,6 +296,7 @@ class Scheduler:
         self.clock[rank] = end
         self.core_clock[core] = end
         self.core_busy[core] = self.core_busy.get(core, 0.0) + seconds
+        self.rank_busy[rank] += seconds
         return end
 
     # ------------------------------------------------------------------
@@ -302,12 +330,17 @@ class Scheduler:
         if type(op) is ops.ComputeOp:
             # The simulated charge happens *now*, at dispatch, whether or
             # not the real work is deferred — so batching tasks to an
-            # executor cannot move a single simulated timestamp.
-            end = self._occupy(r, op.seconds)
-            if self.tracer is not None and op.seconds > 0.0:
+            # executor cannot move a single simulated timestamp.  An active
+            # fault plan scales the charge (slowdown faults) here, at the
+            # single point every compute phase passes through.
+            seconds = op.seconds
+            if self.resilience is not None and seconds > 0.0:
+                seconds = self.resilience.scale_compute(self, r, seconds)
+            end = self._occupy(r, seconds)
+            if self.tracer is not None and seconds > 0.0:
                 self.tracer.record(
                     "compute", "compute", r, self.rank_to_core[r],
-                    end - op.seconds, end,
+                    end - seconds, end,
                 )
             if op.task is None:
                 ready.append(r)
@@ -355,6 +388,10 @@ class Scheduler:
         wire = self.cost.message_time(
             self.rank_to_core[r], self.rank_to_core[dst_world], nbytes
         )
+        if self.resilience is not None:
+            # Transient delay/drop-with-retry faults lengthen the wire time
+            # of matching messages; payloads are never lost.
+            wire += self.resilience.message_penalty(self, r, dst_world, nbytes)
         msg = Message(
             comm_id=comm.comm_id,
             src=comm.rank,
@@ -558,25 +595,36 @@ class Scheduler:
 
     # ------------------------------------------------------------------
     def _raise_deadlock(self) -> None:
-        blocked = []
+        blocked_ranks: list[int] = []
+        lines = []
         for r, st in enumerate(self._states):
             if st.status == _BLOCKED_RECV:
                 op = st.blocked_op
-                blocked.append(
-                    f"rank {r}: recv(src={op.src}, tag={op.tag}, comm={op.comm.comm_id})"
+                blocked_ranks.append(r)
+                lines.append(
+                    f"  rank {r}: parked on recv(src={op.src}, tag={op.tag}, "
+                    f"comm={op.comm.comm_id})"
                 )
             elif st.status == _BLOCKED_COLL:
                 op = st.blocked_op
-                blocked.append(
-                    f"rank {r}: collective {op.kind} #{op.seq} on comm {op.comm.comm_id}"
+                blocked_ranks.append(r)
+                lines.append(
+                    f"  rank {r}: parked on collective {op.kind} #{op.seq} "
+                    f"on comm {op.comm.comm_id}"
                 )
-        detail = "\n".join(blocked) if blocked else "(no blocked ranks?)"
-        raise DeadlockError(
-            "no rank can make progress; blocked operations:\n"
+            elif st.status == _BLOCKED_EXEC:
+                blocked_ranks.append(r)
+                lines.append(f"  rank {r}: parked on a dispatched compute task")
+        detail = "\n".join(lines) if lines else "  (no blocked ranks?)"
+        ranks = ", ".join(str(r) for r in blocked_ranks) or "none"
+        err = DeadlockError(
+            f"no rank can make progress; blocked ranks: [{ranks}]\n"
             + detail
             + "\npending messages:\n"
             + self.transport.describe_pending()
         )
+        err.blocked_ranks = blocked_ranks
+        raise err
 
 
 def _fold(op: ReduceOp, values: list):
@@ -595,6 +643,7 @@ def run_spmd(
     tracer=None,
     metrics=None,
     executor=None,
+    resilience=None,
 ) -> SpmdResult:
     """Convenience wrapper: run one program (or one per rank) on ``n_ranks``.
 
@@ -609,6 +658,7 @@ def run_spmd(
         tracer=tracer,
         metrics=metrics,
         executor=executor,
+        resilience=resilience,
     )
     if callable(program):
         programs = [program] * n_ranks

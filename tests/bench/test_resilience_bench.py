@@ -1,0 +1,113 @@
+"""Schema/gate logic of the straggler-recovery bench, plus a tiny live run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import resilience as bench
+
+
+def _entry(impl, *, recovery=0.7, gate=0.5, verified=True, ckpts=("a",)):
+    return {
+        "impl": impl,
+        "clean_time_s": 0.05,
+        "fault_time_s": 0.08,
+        "slowdown_s": 0.03,
+        "recovery_fraction": None if impl == "mpi-2d" else recovery,
+        "gate_min_recovery": None if impl == "mpi-2d" else gate,
+        "verification_ok": verified,
+        "checkpoints_written": list(ckpts),
+    }
+
+
+def _doc(entries=None):
+    return {
+        "schema": bench.SCHEMA_VERSION,
+        "preset": "smoke",
+        "machine": bench.machine_fingerprint(),
+        "scenario": {"cores": 4},
+        "entries": entries
+        if entries is not None
+        else [_entry("mpi-2d"), _entry("mpi-2d-LB"), _entry("ampi")],
+    }
+
+
+class TestSchema:
+    def test_valid_doc(self):
+        assert bench.check_schema(_doc()) == []
+
+    def test_wrong_schema_version(self):
+        doc = _doc()
+        doc["schema"] = 99
+        assert any("schema" in e for e in bench.check_schema(doc))
+
+    def test_missing_entry_key(self):
+        doc = _doc()
+        del doc["entries"][1]["slowdown_s"]
+        assert any("slowdown_s" in e for e in bench.check_schema(doc))
+
+    def test_missing_implementation(self):
+        doc = _doc([_entry("mpi-2d"), _entry("mpi-2d-LB")])
+        assert any("ampi" in e for e in bench.check_schema(doc))
+
+
+class TestGates:
+    def test_all_pass(self):
+        assert bench.check_gates(_doc()) == []
+
+    def test_below_recovery_gate(self):
+        doc = _doc([
+            _entry("mpi-2d"),
+            _entry("mpi-2d-LB", recovery=0.3, gate=0.5),
+            _entry("ampi"),
+        ])
+        (msg,) = bench.check_gates(doc)
+        assert "mpi-2d-LB" in msg and "30%" in msg and "50%" in msg
+
+    def test_verification_failure(self):
+        doc = _doc([
+            _entry("mpi-2d", verified=False), _entry("mpi-2d-LB"), _entry("ampi")
+        ])
+        assert any("verification" in m for m in bench.check_gates(doc))
+
+    def test_missing_checkpoints(self):
+        doc = _doc([
+            _entry("mpi-2d", ckpts=()), _entry("mpi-2d-LB"), _entry("ampi")
+        ])
+        assert any("no checkpoints" in m for m in bench.check_gates(doc))
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "out" / "BENCH_resilience.json")
+        doc = _doc()
+        bench.save_bench(doc, path)
+        assert bench.load_bench(path) == doc
+
+    def test_load_rejects_invalid(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        doc = _doc()
+        doc["schema"] = 99
+        bench.save_bench(doc, path)
+        with pytest.raises(ValueError, match="schema"):
+            bench.load_bench(path)
+
+
+class TestLiveScenario:
+    def test_tiny_scenario_produces_valid_entries(self):
+        """End-to-end sanity at toy scale (no recovery gate enforced)."""
+        # steps > CHECKPOINT_EVERY so the faulted runs write a checkpoint.
+        scenario, entries = bench.run_scenario(
+            cells=32, particles=600, steps=30, cores=4,
+            gate_min_recovery=None, progress=lambda _line: None,
+        )
+        doc = {
+            "schema": bench.SCHEMA_VERSION, "preset": "tiny",
+            "machine": bench.machine_fingerprint(),
+            "scenario": scenario, "entries": entries,
+        }
+        assert bench.check_schema(doc) == []
+        for e in entries:
+            assert e["verification_ok"]
+            assert e["checkpoints_written"]
+            assert e["fault_time_s"] > e["clean_time_s"]

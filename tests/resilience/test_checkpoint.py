@@ -1,0 +1,147 @@
+"""Checkpoint files: format validation, scheduling, spec round-trip."""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.core.spec import (
+    Distribution,
+    InjectionEvent,
+    PICSpec,
+    Region,
+    RemovalEvent,
+)
+from repro.parallel import Mpi2dPIC
+from repro.resilience import (
+    Checkpointer,
+    ResilienceConfig,
+    Snapshot,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.resilience.checkpoint import CKPT_MAGIC
+from repro.runtime.errors import CheckpointCorruptError
+
+
+def _spec(steps=6):
+    return PICSpec(
+        cells=32, n_particles=600, steps=steps,
+        distribution=Distribution.UNIFORM,
+    )
+
+
+@pytest.fixture()
+def ckpt(tmp_path):
+    """A real checkpoint written by a short mpi-2d run."""
+    directory = str(tmp_path / "ckpts")
+    cfg = ResilienceConfig(checkpointer=Checkpointer(directory, every=2))
+    result = Mpi2dPIC(_spec(), 4, resilience=cfg).run()
+    assert result.verification.ok
+    files = sorted(os.listdir(directory))
+    assert files == [
+        "ckpt_step000002.ckpt", "ckpt_step000004.ckpt", "ckpt_step000006.ckpt"
+    ]
+    return os.path.join(directory, files[0])
+
+
+class TestSnapshotLoad:
+    def test_round_trip(self, ckpt):
+        snap = Snapshot.load(ckpt)
+        assert snap.next_step == 2
+        assert snap.n_ranks == 4
+        assert snap.meta["impl"] == "mpi-2d"
+        assert spec_from_dict(snap.meta["spec"]) == _spec()
+        assert len(snap.header["global"]["clocks"]) == 4
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointCorruptError, match="cannot read"):
+            Snapshot.load(str(tmp_path / "nope.ckpt"))
+
+    def test_truncated(self, ckpt):
+        raw = open(ckpt, "rb").read()
+        with open(ckpt, "wb") as fh:
+            fh.write(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointCorruptError, match="truncated"):
+            Snapshot.load(ckpt)
+
+    def test_bad_magic(self, ckpt):
+        raw = bytearray(open(ckpt, "rb").read())
+        raw[:4] = b"XXXX"
+        open(ckpt, "wb").write(bytes(raw))
+        with pytest.raises(CheckpointCorruptError, match="bad magic"):
+            Snapshot.load(ckpt)
+
+    def test_bad_version(self, ckpt):
+        raw = bytearray(open(ckpt, "rb").read())
+        struct.pack_into("<I", raw, len(CKPT_MAGIC), 99)
+        open(ckpt, "wb").write(bytes(raw))
+        with pytest.raises(CheckpointCorruptError, match="version 99"):
+            Snapshot.load(ckpt)
+
+    def test_flipped_payload_byte_fails_crc(self, ckpt):
+        raw = bytearray(open(ckpt, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF
+        open(ckpt, "wb").write(bytes(raw))
+        with pytest.raises(CheckpointCorruptError, match="CRC"):
+            Snapshot.load(ckpt)
+
+    def test_check_compatible(self, ckpt):
+        snap = Snapshot.load(ckpt)
+        snap.check_compatible("mpi-2d", 4, 4)  # no raise
+        with pytest.raises(CheckpointCorruptError, match="impl"):
+            snap.check_compatible("ampi", 4, 4)
+        with pytest.raises(CheckpointCorruptError, match="geometry"):
+            snap.check_compatible("mpi-2d", 8, 8)
+
+
+class TestCheckpointer:
+    def test_interval_schedule(self, tmp_path):
+        ck = Checkpointer(str(tmp_path), every=3)
+        assert [t for t in range(10) if ck.due(t)] == [2, 5, 8]
+
+    def test_disabled_by_default(self, tmp_path):
+        ck = Checkpointer(str(tmp_path))
+        assert not any(ck.due(t) for t in range(10))
+
+    def test_request_arms_one_snapshot(self, tmp_path):
+        ck = Checkpointer(str(tmp_path), every=0)
+        assert not ck.due(0)
+        ck.request()
+        assert ck.due(0) and ck.due(1)  # armed until a round completes
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 0"):
+            Checkpointer(str(tmp_path), every=-1)
+        with pytest.raises(ValueError, match="bandwidth"):
+            Checkpointer(str(tmp_path), bandwidth=0.0)
+
+    def test_write_seconds_scale_with_bytes(self, tmp_path):
+        ck = Checkpointer(str(tmp_path), bandwidth=1e6, fixed_s=1e-3)
+        assert ck.write_seconds(0) == pytest.approx(1e-3)
+        assert ck.write_seconds(10**6) == pytest.approx(1e-3 + 1.0)
+
+
+class TestSpecRoundTrip:
+    def test_plain(self):
+        spec = _spec()
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_with_patch_and_events(self):
+        spec = PICSpec(
+            cells=32, n_particles=500, steps=8,
+            distribution=Distribution.PATCH, patch=Region(4, 12, 4, 12),
+            events=(
+                InjectionEvent(step=2, region=Region(0, 8, 0, 8), count=50),
+                RemovalEvent(step=5, region=Region(8, 16, 8, 16)),
+            ),
+        )
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_json_compatible(self):
+        import json
+
+        doc = json.loads(json.dumps(spec_to_dict(_spec())))
+        assert spec_from_dict(doc) == _spec()

@@ -1,0 +1,59 @@
+"""The runtime's error taxonomy: payloads and diagnostic messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import run_spmd
+from repro.runtime.errors import (
+    CheckpointCorruptError,
+    DeadlockError,
+    RankFailedError,
+)
+
+
+class TestRankFailedError:
+    def test_carries_coordinates(self):
+        err = RankFailedError(3, 17)
+        assert err.rank == 3
+        assert err.step == 17
+        assert str(err) == "rank 3 crashed at step 17 (fault plan)"
+
+    def test_detail_is_appended(self):
+        err = RankFailedError(0, 2, "no recovery policy configured")
+        assert str(err).endswith(": no recovery policy configured")
+
+    def test_is_a_runtime_error(self):
+        assert issubclass(RankFailedError, RuntimeError)
+
+
+class TestCheckpointCorruptError:
+    def test_is_a_runtime_error(self):
+        assert issubclass(CheckpointCorruptError, RuntimeError)
+
+
+class TestDeadlockDiagnostics:
+    def test_names_blocked_ranks_and_parked_op(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return None
+            yield comm.recv(src=0, tag=7)
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(2, prog)
+        msg = str(exc.value)
+        assert "blocked ranks: [1]" in msg
+        assert "rank 1: parked on recv(src=0, tag=7" in msg
+        assert exc.value.blocked_ranks == [1]
+
+    def test_names_blocked_collective(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.barrier()
+            return None
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(2, prog)
+        msg = str(exc.value)
+        assert "parked on collective barrier" in msg
+        assert exc.value.blocked_ranks == [0]

@@ -176,3 +176,74 @@ class TestExecutorFlags:
         doc = json.loads((outdir / "executor_trace.json").read_text())
         names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
         assert {"dispatch", "execute", "merge"} <= names
+
+
+class TestResilienceCLI:
+    def _plan_file(self, tmp_path):
+        from repro.resilience import FaultPlan, SlowdownFault
+
+        path = str(tmp_path / "plan.json")
+        FaultPlan(
+            seed=2, faults=(SlowdownFault(factor=3.0, core=0, start=2),)
+        ).save(path)
+        return path
+
+    def _run_with_checkpoints(self, tmp_path, capsys):
+        ckpt_dir = str(tmp_path / "ckpts")
+        rc = main([
+            "run", "--impl", "mpi-2d-LB", "--cores", "4",
+            "--cells", "32", "--particles", "400", "--steps", "8",
+            "--faults", self._plan_file(tmp_path),
+            "--checkpoint-every", "4", "--checkpoint-dir", ckpt_dir,
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        return ckpt_dir, out
+
+    def test_run_with_faults_and_checkpoints(self, tmp_path, capsys):
+        import os
+
+        ckpt_dir, out = self._run_with_checkpoints(tmp_path, capsys)
+        assert "PASS" in out
+        assert "latest checkpoint" in out
+        assert sorted(os.listdir(ckpt_dir)) == [
+            "ckpt_step000004.ckpt", "ckpt_step000008.ckpt",
+        ]
+
+    def test_resume_subcommand(self, tmp_path, capsys):
+        import os
+
+        ckpt_dir, _ = self._run_with_checkpoints(tmp_path, capsys)
+        rc = main([
+            "resume", "--from", os.path.join(ckpt_dir, "ckpt_step000004.ckpt"),
+            "--checkpoint-dir", str(tmp_path / "resumed"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resuming mpi-2d-LB at step 4/8" in out
+        assert "PASS" in out
+
+    def test_resume_rejects_corrupt_checkpoint(self, tmp_path, capsys):
+        import os
+
+        ckpt_dir, _ = self._run_with_checkpoints(tmp_path, capsys)
+        path = os.path.join(ckpt_dir, "ckpt_step000004.ckpt")
+        raw = bytearray(open(path, "rb").read())
+        raw[-10] ^= 0xFF
+        open(path, "wb").write(bytes(raw))
+        from repro.runtime.errors import CheckpointCorruptError
+
+        with pytest.raises(CheckpointCorruptError):
+            main(["resume", "--from", path])
+
+    def test_resilience_bench_smoke(self, tmp_path, capsys):
+        out_path = str(tmp_path / "BENCH_resilience.json")
+        rc = main(["resilience", "--preset", "smoke", "--out", out_path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all gates passed" in out
+        doc = json.loads(open(out_path).read())
+        from repro.bench import resilience as bench
+
+        assert bench.check_schema(doc) == []
+        assert doc["preset"] == "smoke"
