@@ -1,0 +1,243 @@
+"""The paper's figures as campaign declarations.
+
+Each ``*_campaign()`` function builds the :class:`CampaignSpec` whose
+expansion runs exactly the matrix the legacy ``run_fig*`` loops ran —
+same workloads, same scaled cost models, same implementation tunables,
+same point order — so the campaign path reproduces the figures' numbers
+identically (pinned by tests/campaign/test_fig_campaigns.py).
+
+The JSON files checked in under ``benchmarks/campaigns/`` are generated
+from these functions::
+
+    python -m repro.bench.campaigns --write
+
+and a sync test asserts file == function, so the declarative form can be
+edited only here.  ``pic-prk campaign benchmarks/campaigns/fig6l.json``
+runs one standalone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.campaign.spec import CampaignSpec
+from repro.config.runspec import CostConfig
+from repro.core.spec import spec_to_dict
+from repro.bench.workloads import (
+    FIG5_CORES,
+    FIG5_D_VALUES,
+    FIG5_F_VALUES,
+    FIG5_FIXED_D,
+    FIG5_FIXED_F,
+    FIG6_MULTI_NODE_CORES,
+    FIG6_SINGLE_NODE_CORES,
+    FIG7_CORES_FULL,
+    FIG7_PARTICLES_PER_CORE,
+    fig5_workload,
+    fig6_workload,
+    fig7_workload,
+)
+
+#: Where ``--write`` puts the declarations (repo-relative).
+CAMPAIGN_DIR = Path("benchmarks/campaigns")
+
+#: The three strong/weak-scaling contenders, as impl-axis variants.
+#: ``lb`` / ``ampi`` params are per-figure; see the builders below.
+
+
+def _base(workload, impl_doc: dict) -> dict:
+    """Common base document: workload + scaled cost + starting impl."""
+    return {
+        "workload": spec_to_dict(workload.spec_for(0)),
+        "cost": CostConfig.from_model(workload.cost).to_dict(),
+        "impl": impl_doc,
+    }
+
+
+def _impl_axis(lb_params: dict, ampi_params: dict) -> dict:
+    """The mpi-2d / mpi-2d-LB / ampi contender axis."""
+    lb_set = {"impl.name": "mpi-2d-LB"}
+    lb_set.update({f"impl.{k}": v for k, v in lb_params.items()})
+    ampi_set = {"impl.name": "ampi"}
+    ampi_set.update(
+        {f"impl.{k}": _strategy_name(v) if k == "strategy" else v
+         for k, v in ampi_params.items()}
+    )
+    return {
+        "axis": "impl",
+        "values": [
+            {"label": "mpi-2d", "set": {"impl.name": "mpi-2d"}},
+            {"label": "mpi-2d-LB", "set": lb_set},
+            {"label": "ampi", "set": ampi_set},
+        ],
+    }
+
+
+def _strategy_name(strategy) -> str:
+    return type(strategy).__name__
+
+
+# ----------------------------------------------------------------------
+# Figure 5: AMPI tuning — two concatenated sweeps (F at fixed d, d at
+# fixed F), so the points are explicit rather than a product of axes.
+# ----------------------------------------------------------------------
+def fig5_campaign() -> CampaignSpec:
+    w = fig5_workload()
+    strategy = _strategy_name(w.ampi_params["strategy"])
+    points = []
+    for f_value in FIG5_F_VALUES:
+        points.append({
+            "labels": {"sweep": "F", "F": f_value, "d": FIG5_FIXED_D},
+            "set": {
+                "impl.lb_interval": f_value,
+                "impl.overdecomposition": FIG5_FIXED_D,
+            },
+        })
+    for d_value in FIG5_D_VALUES:
+        points.append({
+            "labels": {"sweep": "d", "F": FIG5_FIXED_F, "d": d_value},
+            "set": {
+                "impl.lb_interval": FIG5_FIXED_F,
+                "impl.overdecomposition": d_value,
+            },
+        })
+    return CampaignSpec(
+        name="fig5",
+        base=_base(w, {
+            "name": "ampi",
+            "cores": FIG5_CORES,
+            "strategy": strategy,
+        }),
+        points=tuple(points),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: strong scaling — cores (outer) x implementation (inner).
+# ----------------------------------------------------------------------
+def _fig6_campaign(name: str, cores: Sequence[int]) -> CampaignSpec:
+    w = fig6_workload()
+    return CampaignSpec(
+        name=name,
+        base=_base(w, {"name": "mpi-2d", "cores": cores[0]}),
+        axes=(
+            {"axis": "cores", "path": "impl.cores", "values": list(cores)},
+            _impl_axis(w.lb_params, w.ampi_params),
+        ),
+    )
+
+
+def fig6l_campaign() -> CampaignSpec:
+    return _fig6_campaign("fig6l", FIG6_SINGLE_NODE_CORES)
+
+
+def fig6r_campaign() -> CampaignSpec:
+    return _fig6_campaign("fig6r", FIG6_MULTI_NODE_CORES)
+
+
+# ----------------------------------------------------------------------
+# Figure 7: weak scaling — particles are coupled to cores, so the points
+# are explicit.  The declaration carries ALL points including the paper's
+# 3072-core one; the figures driver filters by label unless REPRO_FULL=1
+# (a select filter, not a different campaign — the cache keys are stable).
+# ----------------------------------------------------------------------
+def fig7_campaign() -> CampaignSpec:
+    w = fig7_workload()
+    impl_axis = _impl_axis(w.lb_params, w.ampi_params)
+    points = []
+    for cores in FIG7_CORES_FULL:
+        for variant in impl_axis["values"]:
+            particles = FIG7_PARTICLES_PER_CORE * cores
+            overrides = {
+                "impl.cores": cores,
+                "workload.n_particles": particles,
+            }
+            overrides.update(variant["set"])
+            points.append({
+                "labels": {
+                    "cores": cores,
+                    "impl": variant["label"],
+                    "particles": particles,
+                },
+                "set": overrides,
+            })
+    return CampaignSpec(
+        name="fig7",
+        base=_base(w, {"name": "mpi-2d", "cores": FIG7_CORES_FULL[0]}),
+        points=tuple(points),
+    )
+
+
+# ----------------------------------------------------------------------
+# CI smoke: a tiny 4-point sweep that runs in seconds (see the
+# campaign-smoke job in .github/workflows/ci.yml and docs/campaigns.md).
+# ----------------------------------------------------------------------
+def smoke_campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="smoke",
+        base={
+            "workload": {"cells": 32, "n_particles": 400, "steps": 8},
+            "impl": {"name": "mpi-2d", "cores": 2},
+        },
+        axes=(
+            {"axis": "cores", "path": "impl.cores", "values": [2, 4]},
+            {
+                "axis": "impl",
+                "values": [
+                    {"label": "mpi-2d", "set": {"impl.name": "mpi-2d"}},
+                    {
+                        "label": "mpi-2d-LB",
+                        "set": {
+                            "impl.name": "mpi-2d-LB",
+                            "impl.lb_interval": 2,
+                            "impl.border_width": 3,
+                            "impl.threshold_fraction": 0.02,
+                        },
+                    },
+                ],
+            },
+        ),
+    )
+
+
+CAMPAIGNS = {
+    "fig5": fig5_campaign,
+    "fig6l": fig6l_campaign,
+    "fig6r": fig6r_campaign,
+    "fig7": fig7_campaign,
+    "smoke": smoke_campaign,
+}
+
+
+def write_declarations(out_dir: str | Path = CAMPAIGN_DIR) -> list[Path]:
+    """(Re)generate the checked-in JSON declarations."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, build in sorted(CAMPAIGNS.items()):
+        path = out / f"{name}.json"
+        build().save(str(path))
+        paths.append(path)
+    return paths
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true",
+        help=f"regenerate the JSON declarations under {CAMPAIGN_DIR}/",
+    )
+    parser.add_argument("--out", default=str(CAMPAIGN_DIR))
+    args = parser.parse_args(argv)
+    if not args.write:
+        parser.error("nothing to do (use --write)")
+    for path in write_declarations(args.out):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

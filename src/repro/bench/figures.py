@@ -24,26 +24,23 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import tempfile
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.bench.campaigns import (
+    fig5_campaign,
+    fig6l_campaign,
+    fig6r_campaign,
+    fig7_campaign,
+)
 from repro.bench.persist import save_records
 from repro.bench.reporting import ascii_loglog, format_series, format_table, speedup_table
-from repro.bench.runner import RunRecord, run_implementation, serial_model_time
-from repro.bench.sweep import SweepPoint, grid_points, run_sweep
+from repro.bench.runner import RunRecord, serial_model_time
 from repro.bench.workloads import (
-    FIG5_CORES,
-    FIG5_D_VALUES,
-    FIG5_F_VALUES,
-    FIG5_FIXED_D,
-    FIG5_FIXED_F,
-    FIG6_MULTI_NODE_CORES,
-    FIG6_SINGLE_NODE_CORES,
     FIG7_CORES,
     FIG7_CORES_FULL,
-    fig5_workload,
     fig6_workload,
-    fig7_workload,
 )
 
 Progress = Callable[[str], None]
@@ -54,39 +51,71 @@ def _echo(msg: str) -> None:
 
 
 # ----------------------------------------------------------------------
+# Campaign plumbing: every figure is a campaign (repro.bench.campaigns);
+# this adapter runs one and converts the outcomes back to RunRecords so
+# the report/persist layers are untouched.
+# ----------------------------------------------------------------------
+def _run_figure_campaign(
+    figure: str,
+    campaign,
+    progress: Progress,
+    cache_dir: str | None = None,
+    select=None,
+) -> list[RunRecord]:
+    """Run ``campaign`` and reshape its outcomes into figure RunRecords.
+
+    ``cache_dir=None`` uses a throwaway cache (same observable behavior
+    as the historical direct loops); pass a persistent directory (e.g.
+    via ``pic-prk figures --cache``) to make re-runs complete from cache.
+    """
+    from repro.campaign import run_campaign
+
+    points = {p.index: p for p in campaign.expand()}
+    if cache_dir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmp:
+            result = run_campaign(
+                campaign, cache_dir=tmp, select=select, progress=progress
+            )
+            return _records_from(figure, points, result)
+    result = run_campaign(
+        campaign, cache_dir=cache_dir, select=select, progress=progress
+    )
+    return _records_from(figure, points, result)
+
+
+def _records_from(figure: str, points: dict, result) -> list[RunRecord]:
+    records = []
+    for outcome in result.outcomes:
+        point = points[outcome.index]
+        res = outcome.result
+        params = dict(point.spec.impl.params())
+        params.update(
+            {k: v for k, v in point.labels.items() if k not in ("impl", "cores")}
+        )
+        records.append(
+            RunRecord(
+                figure=figure,
+                implementation=res["implementation"],
+                cores=res["n_cores"],
+                sim_time=res["sim_time_s"],
+                wall_time=outcome.wall_s,
+                verified=res["verified"],
+                max_particles_per_core=res["max_particles_per_core"],
+                ideal_particles_per_core=res["ideal_particles_per_core"],
+                messages_sent=res["messages_sent"],
+                bytes_sent=res["bytes_sent"],
+                params=params,
+            )
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
 # Figure 5: AMPI parameter tuning
 # ----------------------------------------------------------------------
-def run_fig5(progress: Progress = _echo) -> list[RunRecord]:
+def run_fig5(progress: Progress = _echo, cache_dir: str | None = None) -> list[RunRecord]:
     """F sweep at fixed d, then d sweep at fixed F (paper Fig. 5)."""
-    w = fig5_workload()
-    points: list[SweepPoint] = []
-    for f_value in FIG5_F_VALUES:
-        points.append(
-            SweepPoint(
-                impl="ampi",
-                cores=FIG5_CORES,
-                impl_kwargs=dict(
-                    overdecomposition=FIG5_FIXED_D,
-                    lb_interval=f_value,
-                    **w.ampi_params,
-                ),
-                label={"sweep": "F", "F": f_value, "d": FIG5_FIXED_D},
-            )
-        )
-    for d_value in FIG5_D_VALUES:
-        points.append(
-            SweepPoint(
-                impl="ampi",
-                cores=FIG5_CORES,
-                impl_kwargs=dict(
-                    overdecomposition=d_value,
-                    lb_interval=FIG5_FIXED_F,
-                    **w.ampi_params,
-                ),
-                label={"sweep": "d", "F": FIG5_FIXED_F, "d": d_value},
-            )
-        )
-    return run_sweep("fig5", w, points, progress=progress)
+    return _run_figure_campaign("fig5", fig5_campaign(), progress, cache_dir)
 
 
 def report_fig5(records: list[RunRecord]) -> str:
@@ -118,33 +147,12 @@ def report_fig5(records: list[RunRecord]) -> str:
 # ----------------------------------------------------------------------
 # Figure 6: strong scaling
 # ----------------------------------------------------------------------
-def _run_fig6(cores_list: Sequence[int], figure: str, progress: Progress) -> list[RunRecord]:
-    w = fig6_workload()
-    records: list[RunRecord] = []
-    for cores in cores_list:
-        for impl, kwargs in (
-            ("mpi-2d", {}),
-            ("mpi-2d-LB", w.lb_params),
-            ("ampi", w.ampi_params),
-        ):
-            spec = w.spec_for(cores)
-            rec = run_implementation(
-                figure, impl, spec, cores, w.machine, w.cost, **kwargs
-            )
-            records.append(rec)
-            progress(
-                f"{figure}: {impl} cores={cores} -> {rec.sim_time:.4f}s "
-                f"(wall {rec.wall_time:.1f}s)"
-            )
-    return records
+def run_fig6_single_node(progress: Progress = _echo, cache_dir: str | None = None) -> list[RunRecord]:
+    return _run_figure_campaign("fig6l", fig6l_campaign(), progress, cache_dir)
 
 
-def run_fig6_single_node(progress: Progress = _echo) -> list[RunRecord]:
-    return _run_fig6(FIG6_SINGLE_NODE_CORES, "fig6l", progress)
-
-
-def run_fig6_multi_node(progress: Progress = _echo) -> list[RunRecord]:
-    return _run_fig6(FIG6_MULTI_NODE_CORES, "fig6r", progress)
+def run_fig6_multi_node(progress: Progress = _echo, cache_dir: str | None = None) -> list[RunRecord]:
+    return _run_figure_campaign("fig6r", fig6r_campaign(), progress, cache_dir)
 
 
 def report_fig6(records: list[RunRecord], which: str) -> str:
@@ -171,26 +179,19 @@ def weak_scaling_cores() -> Sequence[int]:
     return FIG7_CORES_FULL if os.environ.get("REPRO_FULL") == "1" else FIG7_CORES
 
 
-def run_fig7(progress: Progress = _echo, cores_list: Sequence[int] | None = None) -> list[RunRecord]:
-    w = fig7_workload()
-    records: list[RunRecord] = []
-    for cores in cores_list or weak_scaling_cores():
-        for impl, kwargs in (
-            ("mpi-2d", {}),
-            ("mpi-2d-LB", w.lb_params),
-            ("ampi", w.ampi_params),
-        ):
-            spec = w.spec_for(cores)
-            rec = run_implementation(
-                "fig7", impl, spec, cores, w.machine, w.cost, **kwargs
-            )
-            rec.params["particles"] = spec.n_particles
-            records.append(rec)
-            progress(
-                f"fig7: {impl} cores={cores} n={spec.n_particles} -> "
-                f"{rec.sim_time:.4f}s (wall {rec.wall_time:.1f}s)"
-            )
-    return records
+def run_fig7(
+    progress: Progress = _echo,
+    cores_list: Sequence[int] | None = None,
+    cache_dir: str | None = None,
+) -> list[RunRecord]:
+    wanted = set(cores_list or weak_scaling_cores())
+    return _run_figure_campaign(
+        "fig7",
+        fig7_campaign(),
+        progress,
+        cache_dir,
+        select=lambda labels: labels["cores"] in wanted,
+    )
 
 
 def report_fig7(records: list[RunRecord]) -> str:
@@ -227,10 +228,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("figures", nargs="+", choices=sorted(FIGURES))
     parser.add_argument("--out", default="benchmarks/results", help="report directory")
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="persistent campaign cache (re-runs complete from cache)",
+    )
     args = parser.parse_args(argv)
     for name in args.figures:
         run, report = FIGURES[name]
-        records = run()
+        records = run(cache_dir=args.cache)
         text = report(records)
         print(text)
         path = write_report(name, text, args.out)

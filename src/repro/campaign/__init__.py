@@ -1,0 +1,30 @@
+"""Campaign engine: declarative sweeps over RunSpecs with a result cache.
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec`: a JSON sweep
+  declaration (base RunSpec + axes or explicit points) that expands into
+  a validated RunSpec matrix;
+* :mod:`repro.campaign.runner` — :func:`run_campaign`: executes the
+  matrix (optionally across worker processes), content-addresses every
+  result by the spec's canonical hash, and writes a manifest.  A repeated
+  run completes entirely from cache with byte-identical artifacts.
+
+The fig5/fig6/fig7 figure pipelines are campaigns over this engine (see
+``repro.bench.campaigns`` and docs/campaigns.md).
+"""
+
+from repro.campaign.runner import (
+    CampaignResult,
+    PointOutcome,
+    artifact_path,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignPoint, CampaignSpec
+
+__all__ = [
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignSpec",
+    "PointOutcome",
+    "artifact_path",
+    "run_campaign",
+]

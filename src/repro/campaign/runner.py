@@ -1,0 +1,245 @@
+"""Execute a campaign with a content-addressed result cache.
+
+Every expanded point is hashed by its *canonical* RunSpec identity
+(:func:`repro.config.build.canonical_hash` — driver-resolved defaults, so
+a sparse declaration and the equivalent fully-written one share a cache
+entry).  The result of a point lives at ``<cache_dir>/<hash>.json`` as a
+canonical-JSON artifact containing only simulated/derived quantities —
+no wall-clock, no timestamps, no paths — so re-running a campaign
+reproduces the file **byte for byte** and a completed point is skipped as
+a cache hit (pinned by the CI campaign-smoke job and
+tests/campaign/test_campaign.py).
+
+Each run also writes ``<cache_dir>/<campaign>.manifest.json`` describing
+what happened: per point the labels, spec hash, whether it was served
+from cache, and the wall seconds it took.  The manifest is *about* the
+run (it contains wall-clock), the artifacts are *about* the results
+(they must not) — keep that split when extending either.
+
+Execution order is deterministic (expansion order); with ``jobs > 1``
+uncached points run concurrently in worker processes, which cannot change
+any result (the simulated world is single-threaded per point and
+bitwise-deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.campaign.spec import CampaignPoint, CampaignSpec
+from repro.config.runspec import RunSpec, canonical_json
+
+ARTIFACT_SCHEMA = 1
+
+
+@dataclass
+class PointOutcome:
+    """One point's run record (result + provenance)."""
+
+    index: int
+    labels: dict[str, Any]
+    spec_hash: str
+    result: dict
+    cached: bool
+    wall_s: float
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign run produced."""
+
+    name: str
+    outcomes: list[PointOutcome] = field(default_factory=list)
+    manifest_path: str | None = None
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+
+# ----------------------------------------------------------------------
+# Cache artifacts
+# ----------------------------------------------------------------------
+def artifact_path(cache_dir: str, spec_hash: str) -> str:
+    return os.path.join(cache_dir, f"{spec_hash}.json")
+
+
+def _write_artifact(cache_dir: str, spec_hash: str, spec: RunSpec, result: dict) -> str:
+    """Atomically write one content-addressed result artifact.
+
+    The content is pure canonical JSON of deterministic data, so two
+    writes of the same point produce identical bytes.
+    """
+    doc = {
+        "schema": ARTIFACT_SCHEMA,
+        "spec_hash": spec_hash,
+        "spec": spec.identity_dict(),
+        "result": result,
+    }
+    os.makedirs(cache_dir, exist_ok=True)
+    path = artifact_path(cache_dir, spec_hash)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(canonical_json(doc))
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def _read_artifact(cache_dir: str, spec_hash: str) -> dict | None:
+    """The cached result for ``spec_hash``, or None (corrupt = miss)."""
+    path = artifact_path(cache_dir, spec_hash)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if doc.get("schema") != ARTIFACT_SCHEMA or doc.get("spec_hash") != spec_hash:
+        return None
+    result = doc.get("result")
+    return result if isinstance(result, dict) else None
+
+
+# ----------------------------------------------------------------------
+# Point execution (module-level so ProcessPoolExecutor can pickle it)
+# ----------------------------------------------------------------------
+def _execute_point(spec_doc: dict) -> dict:
+    from repro.config.build import execute_runspec
+
+    return execute_runspec(RunSpec.from_dict(spec_doc))
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+def run_campaign(
+    campaign: CampaignSpec,
+    *,
+    cache_dir: str = "benchmarks/campaign-cache",
+    jobs: int = 1,
+    force: bool = False,
+    select: Callable[[dict], bool] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignResult:
+    """Run every (selected) point of ``campaign``, cache-aware.
+
+    ``force`` re-executes even cached points (the rewritten artifacts must
+    come out byte-identical — that *is* the determinism check).
+    ``select`` filters points by their labels (e.g. to drop the 3072-core
+    fig7 point unless ``REPRO_FULL`` is set).  ``progress`` receives one
+    human-readable line per point.
+    """
+    from repro.config.build import canonical_runspec
+
+    points = campaign.expand()
+    if select is not None:
+        points = [p for p in points if select(p.labels)]
+
+    # Canonicalize once per point: the hash AND the artifact's embedded
+    # spec both come from the canonical form, so two declarations of the
+    # same run (one sparse, one fully written out) share one artifact —
+    # byte for byte.
+    canon = {p.index: canonical_runspec(p.spec) for p in points}
+    hashes = {index: rs.spec_hash() for index, rs in canon.items()}
+    outcomes: dict[int, PointOutcome] = {}
+    to_run: list[CampaignPoint] = []
+    for p in points:
+        cached = None if force else _read_artifact(cache_dir, hashes[p.index])
+        if cached is not None:
+            outcomes[p.index] = PointOutcome(
+                index=p.index, labels=p.labels, spec_hash=hashes[p.index],
+                result=cached, cached=True, wall_s=0.0,
+            )
+            if progress:
+                progress(_line(campaign.name, p, cached, cached=True))
+        else:
+            to_run.append(p)
+
+    if to_run:
+        if jobs > 1:
+            _run_pool(
+                campaign, to_run, canon, hashes, outcomes, cache_dir, jobs,
+                progress,
+            )
+        else:
+            for p in to_run:
+                t0 = time.perf_counter()
+                result = _execute_point(p.spec.to_dict())
+                wall = time.perf_counter() - t0
+                _write_artifact(cache_dir, hashes[p.index], canon[p.index], result)
+                outcomes[p.index] = PointOutcome(
+                    index=p.index, labels=p.labels, spec_hash=hashes[p.index],
+                    result=result, cached=False, wall_s=wall,
+                )
+                if progress:
+                    progress(_line(campaign.name, p, result, cached=False))
+
+    ordered = [outcomes[p.index] for p in points]
+    res = CampaignResult(name=campaign.name, outcomes=ordered)
+    res.manifest_path = _write_manifest(campaign, res, cache_dir)
+    return res
+
+
+def _run_pool(campaign, to_run, canon, hashes, outcomes, cache_dir, jobs, progress):
+    """Fan uncached points out over worker processes."""
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        t0 = time.perf_counter()
+        futures = {
+            p.index: pool.submit(_execute_point, p.spec.to_dict()) for p in to_run
+        }
+        for p in to_run:
+            result = futures[p.index].result()
+            _write_artifact(cache_dir, hashes[p.index], canon[p.index], result)
+            outcomes[p.index] = PointOutcome(
+                index=p.index, labels=p.labels, spec_hash=hashes[p.index],
+                result=result, cached=False,
+                # Concurrent points overlap; charge elapsed-so-far once each.
+                wall_s=time.perf_counter() - t0,
+            )
+            if progress:
+                progress(_line(campaign.name, p, result, cached=False))
+
+
+def _line(name: str, point: CampaignPoint, result: dict, *, cached: bool) -> str:
+    labels = " ".join(f"{k}={v}" for k, v in point.labels.items())
+    sim = result.get("sim_time_s")
+    sim_txt = "-" if sim is None else f"{sim:.4f}s"
+    tag = "cached" if cached else "ran"
+    return f"[{name}] {tag:6s} {labels}: T={sim_txt}"
+
+
+def _write_manifest(campaign: CampaignSpec, res: CampaignResult, cache_dir: str) -> str:
+    doc = {
+        "schema": 1,
+        "campaign": campaign.name,
+        "points": [
+            {
+                "index": o.index,
+                "labels": o.labels,
+                "spec_hash": o.spec_hash,
+                "cached": o.cached,
+                "wall_s": round(o.wall_s, 6),
+                "artifact": os.path.basename(artifact_path(cache_dir, o.spec_hash)),
+            }
+            for o in res.outcomes
+        ],
+        "executed": res.executed,
+        "cached": res.cached,
+    }
+    os.makedirs(cache_dir, exist_ok=True)
+    path = os.path.join(cache_dir, f"{campaign.name}.manifest.json")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path

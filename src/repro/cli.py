@@ -4,13 +4,23 @@ Subcommands::
 
     pic-prk serial  --cells 128 --particles 20000 --steps 100 --dist geometric --r 0.97
     pic-prk run     --impl mpi-2d-LB --cores 24 --cells 288 --particles 24000 --steps 150
+    pic-prk run     --spec run.json                               # declarative RunSpec
+    pic-prk run     --spec run.json --cores 48 --dry-run          # resolved spec + hash
     pic-prk trace   --impl ampi --cores 16 --steps 160            # imbalance timeline
     pic-prk trace   --impl ampi --cores 16 --out traces/          # + trace.json etc.
     pic-prk figures fig5 fig6l fig6r fig7                         # regenerate figures
+    pic-prk campaign benchmarks/campaigns/fig6l.json              # cached sweep
     pic-prk perf    --preset smoke                                # wall-clock speedups
     pic-prk run     --impl ampi --faults plan.json --checkpoint-every 25
     pic-prk resume  --from checkpoints/ckpt_step000050.ckpt       # continue a run
     pic-prk resilience --preset smoke                             # straggler bench
+
+Every run is configured through one declarative
+:class:`repro.config.RunSpec`: the flags below build one, ``--spec FILE``
+loads one (explicit flags override the file's values), and ``--dry-run``
+prints the fully-resolved spec plus its content hash without running.
+Executor backend and worker count resolve CLI > ``REPRO_EXECUTOR`` /
+``REPRO_WORKERS`` > spec file > serial (see :mod:`repro.config.env`).
 
 ``run`` and ``perf`` accept ``--profile``: the command runs under cProfile
 and the top 20 functions by cumulative time are printed afterwards — the
@@ -21,6 +31,10 @@ writes ``trace.json`` (Chrome/Perfetto format — open at ui.perfetto.dev),
 ``timeline.txt`` (plain-text per-rank span listing) and ``metrics.json``
 (every counter/gauge/histogram) into DIR; see docs/observability.md.
 
+``campaign DECL.json`` expands a declarative sweep into a RunSpec matrix
+and executes it with content-addressed result caching (a re-run completes
+from cache; see docs/campaigns.md).
+
 (Equivalently: ``python -m repro.cli ...``.)  All runs end with the PRK's
 exact self-verification; a failing run exits non-zero.
 """
@@ -30,10 +44,12 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from dataclasses import replace
 from typing import Sequence
 
+from repro.config import ConfigError, ExecutorConfig, RunSpec, diff_docs
 from repro.core.simulation import run_serial
-from repro.core.spec import Distribution, PICSpec, Region
+from repro.core.spec import Distribution, PICSpec, Region, spec_to_dict
 from repro.instrument import (
     ExecutorTrace,
     MetricsRegistry,
@@ -104,15 +120,26 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--executor",
         choices=["serial", "batched", "process"],
-        default=os.environ.get("REPRO_EXECUTOR", "serial"),
+        default=None,
         help="compute-execution backend for the particle push "
-        "(default from REPRO_EXECUTOR, else serial)",
+        "(precedence: this flag > REPRO_EXECUTOR > --spec file > serial)",
     )
     p.add_argument(
-        "--workers", type=int,
-        default=int(os.environ.get("REPRO_WORKERS") or 0),
-        help="worker processes for --executor process "
-        "(0 = one per host core; default from REPRO_WORKERS)",
+        "--workers", type=int, default=None,
+        help="worker processes for --executor process (0 = one per host "
+        "core; precedence: this flag > REPRO_WORKERS > --spec file > 0)",
+    )
+
+
+def _add_spec_file_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--spec", metavar="FILE.json", default=None,
+        help="load a declarative RunSpec; explicit flags override its values",
+    )
+    p.add_argument(
+        "--dry-run", action="store_true",
+        help="print the fully-resolved RunSpec and its content hash, "
+        "then exit without running",
     )
 
 
@@ -132,87 +159,163 @@ def _add_resilience_args(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _n_ranks_from(args: argparse.Namespace) -> int:
-    if args.impl == "ampi":
-        return args.cores * args.overdecomposition
-    return args.cores
+# ----------------------------------------------------------------------
+# CLI -> RunSpec
+#
+# Every run subcommand goes through one declarative RunSpec
+# (repro.config).  Without --spec the flag values (defaults included) are
+# authoritative, reproducing the historical CLI behavior exactly; with
+# --spec the file is the base and only *explicitly typed* flags override
+# it — argparse defaults must not clobber the file, which is why main()
+# records the explicitly-set destinations in ``args._explicit`` (via a
+# second parse with all defaults suppressed).
+# ----------------------------------------------------------------------
+def _explicit_set(args: argparse.Namespace) -> set:
+    """Destinations the user typed (everything, if main() didn't run)."""
+    return getattr(args, "_explicit", set(vars(args)))
 
 
-def _resilience_from(args: argparse.Namespace):
-    """Build the ResilienceConfig selected by the CLI flags (or None)."""
-    faults = getattr(args, "faults", None)
-    every = getattr(args, "checkpoint_every", 0)
-    if not faults and every <= 0:
-        return None
-    from repro.resilience import (
-        Checkpointer,
-        FaultPlan,
-        RecoveryPolicy,
-        ResilienceConfig,
-        StragglerWatch,
-    )
-
-    plan = watch = recovery = checkpointer = None
-    if faults:
-        plan = FaultPlan.load(faults)
-        watch = StragglerWatch(_n_ranks_from(args))
-        recovery = RecoveryPolicy()
-    if every > 0:
-        checkpointer = Checkpointer(args.checkpoint_dir, every=every)
-    return ResilienceConfig(
-        plan=plan, watch=watch, checkpointer=checkpointer, recovery=recovery,
-    )
+def _cli_value(args: argparse.Namespace, dest: str):
+    """The flag's value if explicitly typed, else None (= fall through)."""
+    return getattr(args, dest, None) if dest in _explicit_set(args) else None
 
 
-def _executor_from(args: argparse.Namespace, exec_tracer=None):
-    """Build the compute-execution backend selected by ``--executor``.
+#: argparse destination -> RunSpec dotted path, for --spec overrides.
+_WORKLOAD_PATHS = (
+    ("cells", "workload.cells"),
+    ("particles", "workload.n_particles"),
+    ("steps", "workload.steps"),
+    ("dist", "workload.distribution"),
+    ("r", "workload.r"),
+    ("alpha", "workload.alpha"),
+    ("beta", "workload.beta"),
+    ("k", "workload.k"),
+    ("m", "workload.m_vertical"),
+    ("rotate90", "workload.rotate90"),
+    ("seed", "workload.seed"),
+)
 
-    The caller owns the instance and must ``close()`` it after the run
-    (only the process backend holds real resources — a worker pool and
-    shared-memory segments).
-    """
-    from repro.runtime.executor import make_executor
+_LB_PATHS = (
+    ("lb_interval", "impl.lb_interval"),
+    ("border_width", "impl.border_width"),
+    ("threshold", "impl.threshold_fraction"),
+    ("axes", "impl.axes"),
+)
 
-    return make_executor(
-        getattr(args, "executor", "serial"),
-        workers=getattr(args, "workers", 0),
-        exec_tracer=exec_tracer,
-    )
+_AMPI_PATHS = (
+    ("overdecomposition", "impl.overdecomposition"),
+    ("ampi_interval", "impl.lb_interval"),
+)
 
 
-def _build_impl(
-    args: argparse.Namespace,
-    tracer=None,
-    span_tracer=None,
-    metrics=None,
-    executor=None,
-    resilience=None,
-):
-    machine = MachineModel()
-    cost = CostModel(machine=machine, particle_push_s=args.push_ns * 1e-9)
-    spec = _spec_from(args)
-    common = dict(
-        machine=machine, cost=cost, tracer=tracer,
-        span_tracer=span_tracer, metrics=metrics, executor=executor,
-        resilience=resilience,
-    )
-    if args.impl == "mpi-2d":
-        return Mpi2dPIC(spec, args.cores, **common)
+def _impl_doc_from(args: argparse.Namespace) -> dict:
+    """The impl section the parallel flags describe (no --spec case)."""
+    doc: dict = {"name": args.impl, "cores": args.cores}
     if args.impl == "mpi-2d-LB":
-        return Mpi2dLbPIC(
-            spec, args.cores,
+        doc.update(
             lb_interval=args.lb_interval,
             border_width=args.border_width,
             threshold_fraction=args.threshold,
             axes=args.axes,
-            **common,
         )
-    return AmpiPIC(
-        spec, args.cores,
-        overdecomposition=args.overdecomposition,
-        lb_interval=args.ampi_interval,
-        **common,
+    elif args.impl == "ampi":
+        doc.update(
+            overdecomposition=args.overdecomposition,
+            lb_interval=args.ampi_interval,
+        )
+    return doc
+
+
+def _resilience_overrides(args: argparse.Namespace, explicit_only: bool) -> dict:
+    over: dict = {}
+    explicit = _explicit_set(args)
+    faults = getattr(args, "faults", None)
+    if faults and (not explicit_only or "faults" in explicit):
+        from repro.resilience import FaultPlan
+
+        over["resilience.faults"] = FaultPlan.load(faults).to_dict()
+    if getattr(args, "checkpoint_every", 0) and (
+        not explicit_only or "checkpoint_every" in explicit
+    ):
+        over["resilience.checkpoint_every"] = args.checkpoint_every
+    if hasattr(args, "checkpoint_dir") and (
+        not explicit_only or "checkpoint_dir" in explicit
+    ):
+        over["resilience.checkpoint_dir"] = args.checkpoint_dir
+    return over
+
+
+def _runspec_from(args: argparse.Namespace, *, serial: bool = False) -> RunSpec:
+    """The RunSpec this invocation describes (CLI flags over --spec file)."""
+    from repro.config.runspec import apply_overrides
+
+    spec_path = getattr(args, "spec", None)
+    if not spec_path:
+        doc: dict = {
+            "workload": spec_to_dict(_spec_from(args)),
+            "impl": {"name": "serial"} if serial else _impl_doc_from(args),
+        }
+        if not serial:
+            doc["cost"] = {"particle_push_s": args.push_ns * 1e-9}
+            doc = apply_overrides(doc, _resilience_overrides(args, False))
+        return RunSpec.from_dict(doc)
+
+    base = RunSpec.load(spec_path).to_dict()
+    explicit = _explicit_set(args)
+    over: dict = {}
+    for dest, path in _WORKLOAD_PATHS:
+        if dest in explicit:
+            over[path] = getattr(args, dest)
+    if "patch" in explicit and args.patch:
+        region = Region(*args.patch)
+        over["workload.patch"] = {
+            "x_lo": region.x_lo, "x_hi": region.x_hi,
+            "y_lo": region.y_lo, "y_hi": region.y_hi,
+        }
+    if serial:
+        # `pic-prk serial` runs the reference kernel no matter which
+        # implementation the spec file names.
+        base["impl"] = {"name": "serial"}
+    else:
+        name = args.impl if "impl" in explicit else base["impl"].get("name")
+        if "impl" in explicit and name != base["impl"].get("name"):
+            # Stale tunables of the replaced impl would otherwise be
+            # rejected as not-applicable; the flags redefine the section
+            # (keeping the file's core count unless --cores was typed).
+            file_cores = base["impl"].get("cores", 1)
+            base["impl"] = _impl_doc_from(args)
+            if "cores" not in explicit:
+                base["impl"]["cores"] = file_cores
+        else:
+            over["impl.name"] = name
+            if "cores" in explicit:
+                over["impl.cores"] = args.cores
+            paths = _LB_PATHS if name == "mpi-2d-LB" else (
+                _AMPI_PATHS if name == "ampi" else ()
+            )
+            for dest, path in paths:
+                if dest in explicit:
+                    over[path] = getattr(args, dest)
+        if "push_ns" in explicit:
+            over["cost.particle_push_s"] = args.push_ns * 1e-9
+        over.update(_resilience_overrides(args, True))
+    return RunSpec.from_dict(apply_overrides(base, over))
+
+
+def _print_resolved(args: argparse.Namespace, rs: RunSpec) -> int:
+    """--dry-run: the fully-resolved spec (driver defaults filled in)."""
+    from repro.config.build import canonical_runspec
+    from repro.config.env import resolve_executor, resolve_workers
+
+    resolved = canonical_runspec(rs).with_overrides(
+        executor=ExecutorConfig(
+            kind=resolve_executor(_cli_value(args, "executor"), rs.executor.kind),
+            workers=resolve_workers(_cli_value(args, "workers"), rs.executor.workers),
+        )
     )
+    print(resolved.to_json())
+    print(f"spec hash: {resolved.spec_hash()}")
+    return 0
 
 
 def _maybe_profile(args: argparse.Namespace, fn):
@@ -230,15 +333,25 @@ def _maybe_profile(args: argparse.Namespace, fn):
 
 
 def cmd_serial(args: argparse.Namespace) -> int:
-    result = run_serial(_spec_from(args))
-    print(f"spec: {_spec_from(args).describe()}")
+    rs = _runspec_from(args, serial=True)
+    if args.dry_run:
+        return _print_resolved(args, rs)
+    result = run_serial(rs.workload)
+    print(f"spec: {rs.workload.describe()}")
     print(result.verification)
     print(f"particle pushes: {result.particle_pushes:,}")
     return 0 if result.verification.ok else 1
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    if getattr(args, "profile", False) and args.executor == "process":
+    rs = _runspec_from(args)
+    if args.dry_run:
+        return _print_resolved(args, rs)
+    from repro.config.build import build_executor, build_impl
+    from repro.config.env import resolve_executor
+
+    kind = resolve_executor(_cli_value(args, "executor"), rs.executor.kind)
+    if getattr(args, "profile", False) and kind == "process":
         print(
             "error: --profile cannot observe worker processes; cProfile only "
             "sees the parent, so the profile would be misleading. Use "
@@ -247,9 +360,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    executor = _executor_from(args)
-    resilience = _resilience_from(args)
-    impl = _build_impl(args, executor=executor, resilience=resilience)
+    executor = build_executor(
+        rs, cli_kind=_cli_value(args, "executor"),
+        cli_workers=_cli_value(args, "workers"),
+    )
+    impl = build_impl(rs, executor=executor)
+    resilience = impl.resilience
     try:
         result = _maybe_profile(args, impl.run)
     finally:
@@ -280,17 +396,24 @@ def _report_resilience(resilience) -> None:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    rs = _runspec_from(args)
+    if args.dry_run:
+        return _print_resolved(args, rs)
+    from repro.config.build import build_executor, build_impl
+    from repro.config.env import resolve_executor
+
+    kind = resolve_executor(_cli_value(args, "executor"), rs.executor.kind)
     tracer = TraceCollector()
     spans = Tracer() if args.out else None
     metrics = MetricsRegistry() if args.out else None
-    exec_spans = (
-        ExecutorTrace() if args.out and args.executor == "process" else None
+    exec_spans = ExecutorTrace() if args.out and kind == "process" else None
+    executor = build_executor(
+        rs, cli_kind=_cli_value(args, "executor"),
+        cli_workers=_cli_value(args, "workers"),
+        exec_tracer=exec_spans,
     )
-    executor = _executor_from(args, exec_tracer=exec_spans)
-    resilience = _resilience_from(args)
-    impl = _build_impl(
-        args, tracer=tracer, span_tracer=spans, metrics=metrics,
-        executor=executor, resilience=resilience,
+    impl = build_impl(
+        rs, tracer=tracer, span_tracer=spans, metrics=metrics, executor=executor
     )
     try:
         result = impl.run()
@@ -340,7 +463,12 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
 
 def _impl_from_snapshot(snapshot, args: argparse.Namespace):
-    """Rebuild the implementation recorded in a checkpoint's meta block."""
+    """Rebuild an implementation from *legacy* checkpoint metadata.
+
+    Pre-RunSpec checkpoints carry loose ``impl``/``spec``/``params`` keys
+    instead of an embedded ``runspec`` document; this path keeps them
+    resumable.  New checkpoints go through :func:`_impl_from_runspec`.
+    """
     from repro.resilience import (
         Checkpointer,
         FaultPlan,
@@ -372,7 +500,13 @@ def _impl_from_snapshot(snapshot, args: argparse.Namespace):
         recovery=recovery, resume=snapshot,
     )
 
-    executor = _executor_from(args)
+    from repro.config.env import resolve_executor, resolve_workers
+    from repro.runtime.executor import make_executor
+
+    executor = make_executor(
+        resolve_executor(_cli_value(args, "executor")),
+        workers=resolve_workers(_cli_value(args, "workers")),
+    )
     params = meta.get("params", {})
     common = dict(
         machine=machine, cost=cost, dims=tuple(meta["dims"]),
@@ -390,11 +524,68 @@ def _impl_from_snapshot(snapshot, args: argparse.Namespace):
     return impl, executor, resilience
 
 
+def _impl_from_runspec(snapshot, args: argparse.Namespace):
+    """Rebuild the run from the checkpoint's embedded RunSpec document."""
+    from repro.config.build import build_executor, build_impl
+
+    rs = RunSpec.from_dict(snapshot.meta["runspec"])
+    # The checkpoint directory is an IO location, not identity: the
+    # resumed run keeps checkpointing into --checkpoint-dir.
+    rs = rs.with_overrides(
+        resilience=replace(rs.resilience, checkpoint_dir=args.checkpoint_dir)
+    )
+    executor = build_executor(
+        rs, cli_kind=_cli_value(args, "executor"),
+        cli_workers=_cli_value(args, "workers"),
+    )
+    impl = build_impl(rs, executor=executor, resume=snapshot)
+    return impl, executor, impl.resilience
+
+
+def _check_resume_spec(args: argparse.Namespace, snapshot) -> int:
+    """Validate --spec against the checkpoint's embedded RunSpec hash.
+
+    Returns 0 when compatible; prints the differing identity fields and
+    returns 2 when not.
+    """
+    from repro.config.build import canonical_runspec
+
+    requested = canonical_runspec(RunSpec.load(args.spec))
+    have_hash = snapshot.meta.get("runspec_hash")
+    if have_hash is None:
+        print(
+            "error: checkpoint predates embedded RunSpecs and cannot be "
+            "validated against --spec; resume it without --spec",
+            file=sys.stderr,
+        )
+        return 2
+    if requested.spec_hash() == have_hash:
+        return 0
+    embedded = RunSpec.from_dict(snapshot.meta["runspec"])
+    print(
+        "error: checkpoint was written by a different run configuration\n"
+        f"  requested spec hash {requested.spec_hash()[:16]}… != "
+        f"checkpoint {have_hash[:16]}…\n"
+        "  differing fields:",
+        file=sys.stderr,
+    )
+    for line in diff_docs(requested.identity_dict(), embedded.identity_dict()):
+        print(f"    {line}", file=sys.stderr)
+    return 2
+
+
 def cmd_resume(args: argparse.Namespace) -> int:
     from repro.resilience import Snapshot
 
     snapshot = Snapshot.load(getattr(args, "from"))
-    impl, executor, resilience = _impl_from_snapshot(snapshot, args)
+    if getattr(args, "spec", None):
+        rc = _check_resume_spec(args, snapshot)
+        if rc != 0:
+            return rc
+    if snapshot.meta.get("runspec") is not None:
+        impl, executor, resilience = _impl_from_runspec(snapshot, args)
+    else:
+        impl, executor, resilience = _impl_from_snapshot(snapshot, args)
     print(
         f"resuming {impl.name} at step {snapshot.next_step}/{impl.spec.steps} "
         f"({snapshot.n_ranks} ranks on {impl.n_cores} cores)"
@@ -428,10 +619,39 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, run_campaign
+
+    campaign = CampaignSpec.load(args.declaration)
+    res = run_campaign(
+        campaign,
+        cache_dir=args.cache,
+        jobs=args.jobs,
+        force=args.force,
+        progress=print,
+    )
+    print(
+        f"{len(res.outcomes)} points: {res.executed} executed, "
+        f"{res.cached} cached"
+    )
+    print(f"manifest: {res.manifest_path}")
+    if args.expect_cached and res.executed:
+        print(
+            f"error: --expect-cached, but {res.executed} point(s) had to "
+            "execute",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.bench.figures import main as figures_main
 
-    return figures_main([*args.names, "--out", args.out])
+    argv = [*args.names, "--out", args.out]
+    if args.cache:
+        argv += ["--cache", args.cache]
+    return figures_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -442,12 +662,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serial", help="run and verify the serial kernel")
     _add_spec_args(p)
+    _add_spec_file_args(p)
     p.set_defaults(fn=cmd_serial)
 
     p = sub.add_parser("run", help="run one parallel implementation")
     _add_spec_args(p)
     _add_parallel_args(p)
     _add_resilience_args(p)
+    _add_spec_file_args(p)
     p.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the top 20 by cumulative time",
@@ -462,6 +684,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_args(p)
     _add_parallel_args(p)
     _add_resilience_args(p)
+    _add_spec_file_args(p)
     p.add_argument(
         "--out", metavar="DIR", default=None,
         help="also record spans + metrics and write trace.json "
@@ -507,12 +730,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the checkpoints the resumed run keeps taking",
     )
     p.add_argument(
-        "--executor", choices=["serial", "batched", "process"],
-        default=os.environ.get("REPRO_EXECUTOR", "serial"),
+        "--executor", choices=["serial", "batched", "process"], default=None,
+        help="compute backend (precedence: this flag > REPRO_EXECUTOR > serial)",
     )
     p.add_argument(
-        "--workers", type=int,
-        default=int(os.environ.get("REPRO_WORKERS") or 0),
+        "--workers", type=int, default=None,
+        help="worker processes (precedence: this flag > REPRO_WORKERS > 0)",
+    )
+    p.add_argument(
+        "--spec", metavar="FILE.json", default=None,
+        help="require the checkpoint to match this RunSpec; a hash "
+        "mismatch aborts, naming the differing fields",
     )
     p.set_defaults(fn=cmd_resume)
 
@@ -531,13 +759,69 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.add_argument("names", nargs="+", choices=["fig5", "fig6l", "fig6r", "fig7"])
     p.add_argument("--out", default="benchmarks/results")
+    p.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="persistent campaign cache (re-runs complete from cache)",
+    )
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a declarative sweep with a content-addressed result cache",
+    )
+    p.add_argument(
+        "declaration", metavar="DECL.json",
+        help="campaign declaration (see docs/campaigns.md and "
+        "benchmarks/campaigns/)",
+    )
+    p.add_argument(
+        "--cache", default="benchmarks/campaign-cache", metavar="DIR",
+        help="result cache directory (default: benchmarks/campaign-cache)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="run uncached points across N worker processes",
+    )
+    p.add_argument(
+        "--force", action="store_true",
+        help="re-execute even cached points (artifacts must reproduce "
+        "byte-identically)",
+    )
+    p.add_argument(
+        "--expect-cached", action="store_true",
+        help="exit 1 if any point had to execute (CI determinism gate)",
+    )
+    p.set_defaults(fn=cmd_campaign)
     return parser
+
+
+def _suppress_defaults(parser: argparse.ArgumentParser) -> None:
+    """Make a parser record only explicitly-typed arguments.
+
+    Used by main() on a second parser instance: parsing the same argv
+    with every default suppressed yields a namespace whose keys are
+    exactly the destinations the user typed — how --spec merging tells
+    'flag left at its default' apart from 'flag typed'.
+    """
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for sub in set(action.choices.values()):
+                _suppress_defaults(sub)
+        elif action.default is not argparse.SUPPRESS:
+            action.default = argparse.SUPPRESS
+    parser._defaults.clear()
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    aux = build_parser()
+    _suppress_defaults(aux)
+    args._explicit = set(vars(aux.parse_args(argv)))
+    try:
+        return args.fn(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

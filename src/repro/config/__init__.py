@@ -1,0 +1,63 @@
+"""Unified run configuration: the declarative :class:`RunSpec` layer.
+
+* :mod:`repro.config.runspec` — the typed dataclass tree (workload, impl,
+  machine, cost, executor, resilience, tracing) with schema validation,
+  JSON round-trip and a canonical content hash;
+* :mod:`repro.config.env` — the single home of the ``REPRO_EXECUTOR`` /
+  ``REPRO_WORKERS`` environment knobs and their precedence chain;
+* :mod:`repro.config.build` — resolves a RunSpec into live objects
+  (imported lazily by consumers; not re-exported here to keep this
+  package import-light for the drivers that derive RunSpecs).
+"""
+
+from repro.config.env import (
+    DEFAULT_EXECUTOR,
+    DEFAULT_WORKERS,
+    ENV_EXECUTOR,
+    ENV_WORKERS,
+    EXECUTOR_KINDS,
+    EnvConfigError,
+    env_executor,
+    env_workers,
+    resolve_executor,
+    resolve_workers,
+)
+from repro.config.runspec import (
+    SCHEMA_VERSION,
+    ConfigError,
+    CostConfig,
+    ExecutorConfig,
+    ImplConfig,
+    MachineConfig,
+    ResilienceSpec,
+    RunSpec,
+    TracingConfig,
+    apply_overrides,
+    canonical_json,
+    diff_docs,
+)
+
+__all__ = [
+    "ConfigError",
+    "CostConfig",
+    "DEFAULT_EXECUTOR",
+    "DEFAULT_WORKERS",
+    "ENV_EXECUTOR",
+    "ENV_WORKERS",
+    "EXECUTOR_KINDS",
+    "EnvConfigError",
+    "ExecutorConfig",
+    "ImplConfig",
+    "MachineConfig",
+    "ResilienceSpec",
+    "RunSpec",
+    "SCHEMA_VERSION",
+    "TracingConfig",
+    "apply_overrides",
+    "canonical_json",
+    "diff_docs",
+    "env_executor",
+    "env_workers",
+    "resolve_executor",
+    "resolve_workers",
+]

@@ -1,0 +1,231 @@
+"""Resolve a :class:`~repro.config.runspec.RunSpec` into live objects.
+
+This is the only module that knows how to turn the declarative tree into
+a :class:`MachineModel`, a :class:`CostModel`, a driver instance, an
+executor backend and a :class:`ResilienceConfig` — the CLI, the campaign
+runner and the bench layer all build runs through here, so a RunSpec
+means exactly one thing everywhere.
+
+Kept separate from :mod:`repro.config.runspec` (which stays import-light)
+because building pulls in the parallel drivers and the resilience
+subsystem, and :mod:`repro.parallel.base` itself imports the runspec
+module to derive specs from live drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config.env import resolve_executor, resolve_workers
+from repro.config.runspec import ConfigError, RunSpec
+
+#: LB strategy registry for ``impl.strategy`` (ampi).  All strategies are
+#: parameter-free frozen dataclasses, so the name is the whole identity.
+_STRATEGIES = (
+    "NullLB",
+    "GreedyLB",
+    "GreedyTransferLB",
+    "RefineLB",
+    "HintedTransferLB",
+)
+
+
+def build_strategy(name: str):
+    """Instantiate an ampi LB strategy by its registered name."""
+    from repro.ampi import loadbalancer
+
+    if name not in _STRATEGIES:
+        raise ConfigError(
+            f"unknown LB strategy {name!r}; choose from {', '.join(_STRATEGIES)}"
+        )
+    return getattr(loadbalancer, name)()
+
+
+def strategy_name(strategy) -> str:
+    """The registry name of a live strategy (unwrapping MeteredLB)."""
+    inner = getattr(strategy, "inner", None)
+    if inner is not None and type(strategy).__name__ == "MeteredLB":
+        strategy = inner
+    return type(strategy).__name__
+
+
+def build_resilience(rs: RunSpec, n_ranks: int, *, resume=None):
+    """The run's :class:`~repro.resilience.ResilienceConfig`, or None.
+
+    ``n_ranks`` sizes the straggler watch, so the caller passes the
+    *driver's* rank count (cores * d for ampi) — build the driver first
+    with ``resilience=None``, then attach (see :func:`build_impl`).
+    """
+    spec = rs.resilience
+    if not spec.active() and resume is None:
+        return None
+    from repro.resilience import (
+        Checkpointer,
+        FaultPlan,
+        RecoveryPolicy,
+        ResilienceConfig,
+        StragglerWatch,
+    )
+
+    plan = watch = recovery = checkpointer = None
+    if spec.faults is not None:
+        plan = FaultPlan.from_dict(spec.faults)
+    if spec.watch is not None:
+        watch = StragglerWatch(n_ranks, **spec.watch)
+    elif spec.faults is not None:
+        # A fault plan arms the watch by default (matches the historical
+        # CLI behavior of --faults).
+        watch = StragglerWatch(n_ranks)
+    if spec.recovery is not None:
+        recovery = RecoveryPolicy(**spec.recovery)
+    elif spec.faults is not None:
+        recovery = RecoveryPolicy()
+    if spec.checkpoint_every > 0:
+        checkpointer = Checkpointer(
+            spec.checkpoint_dir, every=spec.checkpoint_every
+        )
+    return ResilienceConfig(
+        plan=plan, watch=watch, checkpointer=checkpointer,
+        recovery=recovery, resume=resume,
+    )
+
+
+def build_executor(rs: RunSpec, *, cli_kind=None, cli_workers=None,
+                   exec_tracer=None, environ=None):
+    """The compute backend, resolved CLI > env > spec > default.
+
+    The caller owns the returned instance and must ``close()`` it.
+    """
+    from repro.runtime.executor import make_executor
+
+    kind = resolve_executor(cli_kind, rs.executor.kind, environ=environ)
+    workers = resolve_workers(cli_workers, rs.executor.workers, environ=environ)
+    return make_executor(kind, workers=workers, exec_tracer=exec_tracer)
+
+
+def build_impl(
+    rs: RunSpec,
+    *,
+    tracer=None,
+    span_tracer=None,
+    metrics=None,
+    executor=None,
+    resume=None,
+):
+    """Instantiate the driver a RunSpec describes (resilience attached).
+
+    ``rs.impl.name`` must be one of the three parallel implementations;
+    ``"serial"`` runs have no driver object — use :func:`execute_runspec`.
+    """
+    from repro.parallel import AmpiPIC, Mpi2dLbPIC, Mpi2dPIC
+
+    classes = {"mpi-2d": Mpi2dPIC, "mpi-2d-LB": Mpi2dLbPIC, "ampi": AmpiPIC}
+    cls = classes.get(rs.impl.name)
+    if cls is None:
+        raise ConfigError(
+            f"cannot build impl {rs.impl.name!r}; "
+            f"choose from {', '.join(sorted(classes))} (or 'serial')"
+        )
+    machine = rs.machine.build()
+    cost = rs.cost.build(machine)
+    kwargs: dict[str, Any] = dict(rs.impl.params())
+    if "strategy" in kwargs:
+        kwargs["strategy"] = build_strategy(kwargs["strategy"])
+    impl = cls(
+        rs.workload,
+        rs.impl.cores,
+        machine=machine,
+        cost=cost,
+        dims=rs.impl.dims,
+        tracer=tracer,
+        span_tracer=span_tracer,
+        metrics=metrics,
+        executor=executor,
+        resilience=None,
+        **kwargs,
+    )
+    # Two-phase: the watch is sized by the driver's rank count (cores * d
+    # for ampi), which only the constructed driver knows authoritatively.
+    impl.resilience = build_resilience(rs, impl.n_ranks, resume=resume)
+    return impl
+
+
+def canonical_runspec(rs: RunSpec) -> RunSpec:
+    """Resolve a spec's defaults the way the driver it names would.
+
+    A hand-written sparse spec (e.g. ampi with ``strategy`` omitted) and
+    the spec a live driver derives for the same run must hash equal —
+    resume validation and the campaign cache both compare hashes across
+    that boundary.  Parallel impls round-trip through the constructed
+    driver; ``serial`` (and unknown test impls) have no tunables to
+    resolve and pass through unchanged.
+    """
+    if rs.impl.name not in ("mpi-2d", "mpi-2d-LB", "ampi"):
+        return rs
+    derived = build_impl(rs).runspec()
+    # Identity-neutral sections carry over from the input spec.
+    return derived.with_overrides(
+        executor=rs.executor,
+        tracing=rs.tracing,
+    )
+
+
+def canonical_hash(rs: RunSpec) -> str:
+    """:meth:`RunSpec.spec_hash` of the canonicalized spec."""
+    return canonical_runspec(rs).spec_hash()
+
+
+def execute_runspec(rs: RunSpec, *, executor=None) -> dict:
+    """Run a RunSpec to completion and return its deterministic result doc.
+
+    The result contains only simulated/derived quantities (no wall-clock,
+    no paths), so the same spec always produces the same bytes — the
+    campaign cache (:mod:`repro.campaign`) depends on this.  Verification
+    failure raises ``RuntimeError``.
+    """
+    if rs.impl.name == "serial":
+        from repro.core.simulation import run_serial
+
+        res = run_serial(rs.workload)
+        if not res.verification.ok:
+            raise RuntimeError(f"verification failed: {res.verification}")
+        return {
+            "implementation": "serial",
+            "n_ranks": 1,
+            "n_cores": 1,
+            "sim_time_s": None,
+            "verified": True,
+            "max_particles_per_core": len(res.particles),
+            "ideal_particles_per_core": float(len(res.particles)),
+            "messages_sent": 0,
+            "bytes_sent": 0,
+            "collectives": 0,
+            "final_particles": len(res.particles),
+        }
+
+    own_executor = executor is None
+    if own_executor:
+        executor = build_executor(rs)
+    impl = build_impl(rs, executor=executor)
+    try:
+        result = impl.run()
+    finally:
+        if own_executor:
+            executor.close()
+    if not result.verification.ok:
+        raise RuntimeError(
+            f"verification failed for {rs.describe()}: {result.verification}"
+        )
+    return {
+        "implementation": result.implementation,
+        "n_ranks": result.n_ranks,
+        "n_cores": result.n_cores,
+        "sim_time_s": result.total_time,
+        "verified": True,
+        "max_particles_per_core": result.max_particles_per_core,
+        "ideal_particles_per_core": result.ideal_particles_per_core,
+        "messages_sent": result.messages_sent,
+        "bytes_sent": result.bytes_sent,
+        "collectives": result.collectives,
+        "final_particles": sum(result.particles_per_core.values()),
+    }

@@ -9,6 +9,7 @@ injection/removal events.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
@@ -254,6 +255,56 @@ class PICSpec:
         if self.events:
             bits.append(f"{len(self.events)} events")
         return ", ".join(bits)
+
+
+# ----------------------------------------------------------------------
+# Canonical (de)serialization — shared by checkpoint metadata
+# (repro.resilience.checkpoint) and the RunSpec config layer
+# (repro.config.runspec).
+# ----------------------------------------------------------------------
+def spec_to_dict(spec: PICSpec) -> dict:
+    """JSON-safe dict with every field present (the canonical form)."""
+    doc = dataclasses.asdict(spec)
+    doc["distribution"] = spec.distribution.value
+    if spec.patch is not None:
+        doc["patch"] = dataclasses.asdict(spec.patch)
+    events = []
+    for ev in spec.events:
+        d = dataclasses.asdict(ev)
+        d["kind"] = "inject" if isinstance(ev, InjectionEvent) else "remove"
+        events.append(d)
+    doc["events"] = events
+    for key in ("k_choices", "m_choices"):
+        if doc.get(key) is not None:
+            doc[key] = list(doc[key])
+    return doc
+
+
+def spec_from_dict(doc: dict) -> PICSpec:
+    """Inverse of :func:`spec_to_dict`; unknown fields raise ``ValueError``."""
+    doc = dict(doc)
+    allowed = {f.name for f in dataclasses.fields(PICSpec)}
+    unknown = sorted(set(doc) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown workload field(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+    doc["distribution"] = Distribution(doc.get("distribution", "geometric"))
+    if doc.get("patch") is not None:
+        doc["patch"] = Region(**doc["patch"])
+    events = []
+    for d in doc.get("events", ()):
+        d = dict(d)
+        kind = d.pop("kind")
+        if kind not in ("inject", "remove"):
+            raise ValueError(f"unknown event kind {kind!r}")
+        d["region"] = Region(**d["region"])
+        events.append(InjectionEvent(**d) if kind == "inject" else RemovalEvent(**d))
+    doc["events"] = tuple(events)
+    for key in ("k_choices", "m_choices"):
+        if doc.get(key) is not None:
+            doc[key] = tuple(doc[key])
+    return PICSpec(**doc)
 
 
 def validated_even_cells(cells: int) -> int:

@@ -91,6 +91,17 @@ class AmpiPIC(ParallelPICBase):
             "stats_s_per_vp": self.stats_s_per_vp,
         }
 
+    def _impl_config(self):
+        strategy = self.strategy
+        if isinstance(strategy, MeteredLB):
+            strategy = strategy.inner  # metrics wrapper, not part of identity
+        return super()._impl_config().with_params(
+            overdecomposition=self.overdecomposition,
+            lb_interval=self.lb_interval,
+            strategy=type(strategy).__name__,
+            stats_s_per_vp=self.stats_s_per_vp,
+        )
+
     def lb_hook(self, comm, cart, state, t):
         state.extra["load"] = state.extra.get("load", 0) + len(state.particles)
         # A straggler flag forces an off-interval migrate() round.

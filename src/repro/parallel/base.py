@@ -48,6 +48,14 @@ from repro.runtime.executor import PushTask
 from repro.runtime.machine import MachineModel
 from repro.runtime.reduce_ops import MAX, SUM
 from repro.runtime.scheduler import Scheduler
+from repro.config.runspec import (
+    CostConfig,
+    ExecutorConfig,
+    ImplConfig,
+    MachineConfig,
+    ResilienceSpec,
+    RunSpec,
+)
 from repro.resilience.checkpoint import spec_to_dict
 
 # Message tags of the particle-exchange protocol.
@@ -444,9 +452,76 @@ class ParallelPICBase:
         """Implementation tunables stored in checkpoint metadata."""
         return {}
 
-    def _snapshot_meta(self, dims) -> dict:
-        """Checkpoint ``meta`` block: everything resume needs to rebuild us."""
+    # ------------------------------------------------------------------
+    # RunSpec derivation / construction
+    # ------------------------------------------------------------------
+    def _impl_config(self) -> ImplConfig:
+        """This driver's impl section; subclasses add their tunables."""
+        return ImplConfig(
+            name=self.name,
+            cores=self.n_cores,
+            dims=None if self.dims_override is None else tuple(self.dims_override),
+        )
+
+    def runspec(self) -> RunSpec:
+        """The declarative :class:`~repro.config.runspec.RunSpec` equivalent
+        to this driver instance.
+
+        Derived from live state — the same constructor arguments always
+        yield the same RunSpec (and hence the same ``spec_hash()``), no
+        matter whether the driver was built by hand, by the CLI or by
+        :func:`repro.config.build.build_impl`.  The executor section is
+        left at "inherit" (it is not part of the spec's identity: backends
+        are bitwise-equivalent).
+        """
         res = self.resilience
+        resilience = ResilienceSpec(
+            faults=None if res is None or res.plan is None else res.plan.to_dict(),
+            watch=None if res is None or res.watch is None
+            else res.watch.params_dict(),
+            recovery=None if res is None or res.recovery is None
+            else asdict(res.recovery),
+            checkpoint_every=0 if res is None or res.checkpointer is None
+            else res.checkpointer.every,
+            checkpoint_dir="checkpoints" if res is None or res.checkpointer is None
+            else res.checkpointer.directory,
+        )
+        return RunSpec(
+            workload=self.spec,
+            impl=self._impl_config(),
+            machine=MachineConfig.from_model(self.machine),
+            cost=CostConfig.from_model(self.cost),
+            executor=ExecutorConfig(),
+            resilience=resilience,
+        )
+
+    @classmethod
+    def from_runspec(cls, rs: RunSpec, **hooks):
+        """Build the driver a RunSpec describes (see ``repro.config.build``).
+
+        ``hooks`` forwards ``tracer``/``span_tracer``/``metrics``/
+        ``executor``/``resume``.  Dispatches on ``rs.impl.name`` — calling
+        this on a subclass whose name differs from the spec's is an error.
+        """
+        from repro.config.build import build_impl
+
+        impl = build_impl(rs, **hooks)
+        if cls is not ParallelPICBase and not isinstance(impl, cls):
+            raise RuntimeConfigError(
+                f"runspec names impl {rs.impl.name!r}, not a {cls.__name__}"
+            )
+        return impl
+
+    def _snapshot_meta(self, dims) -> dict:
+        """Checkpoint ``meta`` block: everything resume needs to rebuild us.
+
+        Carries both the legacy loose keys (impl/spec/params/...) and the
+        embedded RunSpec identity document plus its content hash — the
+        ``resume`` subcommand validates a requested spec against
+        ``runspec_hash`` instead of trusting the loose metadata.
+        """
+        res = self.resilience
+        rs = self.runspec()
         return {
             "impl": self.name,
             "n_cores": self.n_cores,
@@ -454,6 +529,8 @@ class ParallelPICBase:
             "spec": spec_to_dict(self.spec),
             "cost": {"particle_push_s": self.cost.particle_push_s},
             "params": self._checkpoint_params(),
+            "runspec": rs.identity_dict(),
+            "runspec_hash": rs.spec_hash(),
             "resilience": {
                 "plan": None
                 if res is None or res.plan is None

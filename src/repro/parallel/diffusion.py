@@ -42,8 +42,23 @@ def diffuse_splits(
         Blocks never shrink below this many cell columns.
 
     Decisions for all boundaries are taken against the *pre-step* loads
-    (Jacobi-style), so the outcome does not depend on traversal order except
-    through the width clamping, which is evaluated left to right.
+    (Jacobi-style), so *whether* a boundary moves and its uncapped donation
+    never depend on traversal order.  The width clamping, however, is
+    evaluated **left to right against the partially-updated split vector**,
+    and that order is pinned API behavior (golden traces depend on it):
+
+    * a boundary moving *left* measures its room against the already-updated
+      position of its left neighbor, so a block squeezed from both sides
+      (boundary ``b`` moved right, boundary ``b + 1`` moving left) can never
+      be clamped below ``min_width`` — the second clamp sees the first move;
+    * a boundary moving *right* measures its room against the not-yet-updated
+      position of its right neighbor, so it donates conservatively even when
+      that neighbor is itself about to move right and free more room.
+
+    Both effects are exercised by explicit hand-computed cases in
+    tests/parallel/test_diffusion.py (TestTraversalOrder); changing the
+    traversal order would silently re-partition every LB run, so it must
+    fail those tests first.
     """
     loads = np.asarray(loads, dtype=np.float64)
     splits = np.asarray(splits, dtype=np.int64)

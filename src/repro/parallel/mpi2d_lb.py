@@ -97,6 +97,16 @@ class Mpi2dLbPIC(ParallelPICBase):
             "min_width": self.min_width,
         }
 
+    def _impl_config(self):
+        base = super()._impl_config()
+        return base.with_params(
+            lb_interval=self.lb_interval,
+            threshold_fraction=self.threshold_fraction,
+            border_width=self.border_width,
+            axes=self.axes,
+            min_width=self.min_width,
+        )
+
     def lb_hook(self, comm, cart, state, t):
         # A straggler flag from the resilience watch forces an off-interval
         # diffusion round (see ParallelPICBase._lb_due).

@@ -26,59 +26,19 @@ step onward are equal (pinned by tests/resilience/test_resume_equivalence).
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 import struct
 import zlib
 from typing import Any
 
-from repro.core.spec import (
-    Distribution,
-    InjectionEvent,
-    PICSpec,
-    Region,
-    RemovalEvent,
-)
+# Canonical spec (de)serialization lives with the spec itself; re-exported
+# here because checkpoint metadata has always carried it.
+from repro.core.spec import spec_from_dict, spec_to_dict  # noqa: F401
 from repro.runtime.errors import CheckpointCorruptError
 
 CKPT_MAGIC = b"RPRKCKPT"
 CKPT_VERSION = 1
-
-
-# ----------------------------------------------------------------------
-# Spec (de)serialization — lets a snapshot rebuild its problem instance.
-# ----------------------------------------------------------------------
-def spec_to_dict(spec: PICSpec) -> dict:
-    doc = dataclasses.asdict(spec)
-    doc["distribution"] = spec.distribution.value
-    if spec.patch is not None:
-        doc["patch"] = dataclasses.asdict(spec.patch)
-    events = []
-    for ev in spec.events:
-        d = dataclasses.asdict(ev)
-        d["kind"] = "inject" if isinstance(ev, InjectionEvent) else "remove"
-        events.append(d)
-    doc["events"] = events
-    return doc
-
-
-def spec_from_dict(doc: dict) -> PICSpec:
-    doc = dict(doc)
-    doc["distribution"] = Distribution(doc["distribution"])
-    if doc.get("patch") is not None:
-        doc["patch"] = Region(**doc["patch"])
-    events = []
-    for d in doc.get("events", ()):
-        d = dict(d)
-        kind = d.pop("kind")
-        d["region"] = Region(**d["region"])
-        events.append(InjectionEvent(**d) if kind == "inject" else RemovalEvent(**d))
-    doc["events"] = tuple(events)
-    for key in ("k_choices", "m_choices"):
-        if doc.get(key) is not None:
-            doc[key] = tuple(doc[key])
-    return PICSpec(**doc)
 
 
 # ----------------------------------------------------------------------

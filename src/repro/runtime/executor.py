@@ -574,12 +574,16 @@ def default_executor() -> Executor:
 
     Cached so that every scheduler in the process (e.g. a whole test-suite
     run under ``REPRO_EXECUTOR=process``) shares one warmed worker pool.
+    The env parsing (and the full CLI > env > spec > default precedence
+    chain) lives in :mod:`repro.config.env`.
     """
     global _DEFAULT
     if _DEFAULT is None:
-        name = (os.environ.get("REPRO_EXECUTOR") or "serial").strip() or "serial"
-        workers = int(os.environ.get("REPRO_WORKERS") or 0)
-        _DEFAULT = make_executor(name, workers=workers)
+        from repro.config.env import resolve_executor, resolve_workers
+
+        _DEFAULT = make_executor(
+            resolve_executor(), workers=resolve_workers()
+        )
         if isinstance(_DEFAULT, ProcessExecutor):
             atexit.register(_DEFAULT.close)
     return _DEFAULT

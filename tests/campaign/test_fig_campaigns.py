@@ -1,0 +1,137 @@
+"""The figure campaigns: declaration sync + numbers parity with the
+legacy direct-run path.
+
+Two invariants:
+
+* the JSON files checked in under benchmarks/campaigns/ are exactly what
+  ``repro.bench.campaigns`` generates (edit the builders, run
+  ``python -m repro.bench.campaigns --write``);
+* running a figure through the campaign engine produces the same numbers
+  as calling :func:`repro.bench.runner.run_implementation` directly —
+  the acceptance criterion for re-expressing the benches declaratively.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.campaigns import (
+    CAMPAIGNS,
+    _fig6_campaign,
+    fig5_campaign,
+    fig7_campaign,
+    smoke_campaign,
+)
+from repro.bench.figures import _run_figure_campaign
+from repro.bench.runner import run_implementation
+from repro.bench.workloads import (
+    FIG5_CORES,
+    FIG7_PARTICLES_PER_CORE,
+    fig6_workload,
+    fig7_workload,
+)
+
+CAMPAIGN_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "campaigns"
+
+
+class TestDeclarationSync:
+    @pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+    def test_checked_in_json_matches_builder(self, name):
+        path = CAMPAIGN_DIR / f"{name}.json"
+        assert path.exists(), (
+            f"{path} missing — run `python -m repro.bench.campaigns --write`"
+        )
+        assert json.loads(path.read_text()) == CAMPAIGNS[name]().to_dict(), (
+            f"{path} is stale — run `python -m repro.bench.campaigns --write`"
+        )
+
+    @pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+    def test_every_campaign_expands_validated(self, name):
+        points = CAMPAIGNS[name]().expand()
+        assert points
+        for p in points:
+            assert p.spec.impl.name in ("mpi-2d", "mpi-2d-LB", "ampi")
+
+    def test_expected_matrix_sizes(self):
+        sizes = {name: len(CAMPAIGNS[name]().expand()) for name in CAMPAIGNS}
+        assert sizes == {
+            "fig5": 13,   # 7 F values + 6 d values
+            "fig6l": 21,  # 7 core counts x 3 impls
+            "fig6r": 15,  # 5 core counts x 3 impls
+            "fig7": 12,   # 4 core counts x 3 impls (3072 filtered at run time)
+            "smoke": 4,   # 2 core counts x 2 impls
+        }
+
+
+class TestNumbersParity:
+    """Campaign path == legacy direct path, number for number."""
+
+    def test_fig6_subset_matches_direct_runs(self):
+        w = fig6_workload()
+        camp = _fig6_campaign("parity", (1, 4))
+        records = _run_figure_campaign("parity", camp, progress=lambda m: None)
+
+        direct = []
+        for cores in (1, 4):
+            for impl, kwargs in (
+                ("mpi-2d", {}),
+                ("mpi-2d-LB", w.lb_params),
+                ("ampi", w.ampi_params),
+            ):
+                direct.append(
+                    run_implementation(
+                        "parity", impl, w.spec_for(cores), cores,
+                        w.machine, w.cost, **kwargs,
+                    )
+                )
+
+        assert len(records) == len(direct) == 6
+        for rec, ref in zip(records, direct):
+            assert rec.implementation == ref.implementation
+            assert rec.cores == ref.cores
+            assert rec.sim_time == ref.sim_time
+            assert rec.verified and ref.verified
+            assert rec.max_particles_per_core == ref.max_particles_per_core
+            assert rec.messages_sent == ref.messages_sent
+            assert rec.bytes_sent == ref.bytes_sent
+
+    def test_fig7_point_matches_direct_run(self):
+        w = fig7_workload()
+        cores = 48
+        spec = w.spec_for(cores)
+        ref = run_implementation(
+            "parity", "mpi-2d", spec, cores, w.machine, w.cost
+        )
+        records = _run_figure_campaign(
+            "parity", fig7_campaign(), progress=lambda m: None,
+            select=lambda labels: labels["cores"] == cores
+            and labels["impl"] == "mpi-2d",
+        )
+        assert len(records) == 1
+        assert records[0].sim_time == ref.sim_time
+        assert records[0].params["particles"] == FIG7_PARTICLES_PER_CORE * cores
+
+    def test_fig5_labels_survive_into_records(self):
+        camp = fig5_campaign()
+        points = camp.expand()
+        assert all(p.spec.impl.cores == FIG5_CORES for p in points)
+        f_points = [p for p in points if p.labels["sweep"] == "F"]
+        d_points = [p for p in points if p.labels["sweep"] == "d"]
+        assert [p.labels["F"] for p in f_points] == [2, 4, 8, 16, 32, 64, 128]
+        assert [p.labels["d"] for p in d_points] == [1, 2, 4, 8, 16, 32]
+        assert all(
+            p.spec.impl.lb_interval == p.labels["F"]
+            and p.spec.impl.overdecomposition == p.labels["d"]
+            for p in points
+        )
+
+    def test_smoke_campaign_runs_fast_and_caches(self, tmp_path):
+        from repro.campaign import run_campaign
+
+        camp = smoke_campaign()
+        cache = str(tmp_path / "cache")
+        first = run_campaign(camp, cache_dir=cache)
+        assert first.executed == 4
+        second = run_campaign(camp, cache_dir=cache)
+        assert second.executed == 0 and second.cached == 4

@@ -79,6 +79,60 @@ class TestDiffuseSplits:
             diffuse_splits(loads, splits, threshold=1, width=1, min_width=0)
 
 
+class TestTraversalOrder:
+    """Pin the left-to-right width-clamping order of ``diffuse_splits``.
+
+    Movement decisions are Jacobi (pre-step loads), but each boundary's
+    ``min_width`` clamp reads the *partially updated* split vector in
+    left-to-right order — these hand-computed cases fail under any other
+    traversal, so a reordering cannot slip through as a "refactor".
+    """
+
+    def test_left_move_sees_updated_left_neighbor(self):
+        # loads [1, 100, 1]: boundary 1 moves right (block 1 donates left),
+        # boundary 2 wants to move left (block 1 donates right).
+        #
+        # Boundary 1: donation = round(99/2 / (100/4)) = 2,
+        #   room = new[2] - new[1] - min_width = 8 - 4 - 3 = 1 -> new[1] = 5.
+        # Boundary 2: donation = 2, but its clamp reads the *updated*
+        #   new[1] = 5: room = 8 - 5 - 3 = 0 -> no move.
+        out = diffuse_splits(
+            np.array([1, 100, 1]), np.array([0, 4, 8, 12]),
+            threshold=0.5, width=5, min_width=3,
+        )
+        np.testing.assert_array_equal(out, [0, 5, 8, 12])
+        # A stale (Jacobi) clamp would have allowed room = 8 - 4 - 3 = 1 and
+        # produced [0, 5, 7, 12], squeezing block 1 to width 2 < min_width.
+        assert np.all(np.diff(out) >= 3)
+
+    def test_right_move_sees_stale_right_neighbor(self):
+        # loads [0, 10, 100]: both boundaries move right.
+        #
+        # Boundary 1: donation = round(5 / (10/4)) = 2, but the clamp reads
+        #   the *not yet updated* new[2] = 8: room = 8 - 4 - 3 = 1
+        #   -> new[1] = 5 (conservative).
+        # Boundary 2: donation = round(45 / (100/4)) = 2,
+        #   room = 12 - 8 - 3 = 1 -> new[2] = 9.
+        out = diffuse_splits(
+            np.array([0, 10, 100]), np.array([0, 4, 8, 12]),
+            threshold=0.5, width=5, min_width=3,
+        )
+        np.testing.assert_array_equal(out, [0, 5, 9, 12])
+        # A right-to-left (or final-position) clamp would have given
+        # boundary 1 room = 9 - 4 - 3 = 2 and produced [0, 6, 9, 12].
+
+    def test_min_width_invariant_under_two_sided_squeeze(self):
+        # Random-ish stress: the sequential clamp must never produce a block
+        # thinner than min_width, whatever the load pattern.
+        rng = np.random.default_rng(7)
+        splits = np.array([0, 5, 10, 15, 20, 25, 30])
+        for _ in range(200):
+            loads = rng.integers(0, 1000, size=6).astype(float)
+            splits = diffuse_splits(loads, splits, threshold=1, width=4, min_width=3)
+            assert splits[0] == 0 and splits[-1] == 30
+            assert np.all(np.diff(splits) >= 3)
+
+
 class TestHelpers:
     def test_default_threshold(self):
         assert default_threshold(1000, 10, fraction=0.1) == pytest.approx(10.0)

@@ -236,6 +236,60 @@ class TestResilienceCLI:
         with pytest.raises(CheckpointCorruptError):
             main(["resume", "--from", path])
 
+    def test_resume_validates_matching_spec(self, tmp_path, capsys):
+        import os
+
+        ckpt_dir, _ = self._run_with_checkpoints(tmp_path, capsys)
+        # Capture the run's resolved spec via --dry-run, then resume
+        # against it: same identity -> accepted.
+        rc = main([
+            "run", "--impl", "mpi-2d-LB", "--cores", "4",
+            "--cells", "32", "--particles", "400", "--steps", "8",
+            "--faults", self._plan_file(tmp_path),
+            "--checkpoint-every", "4", "--checkpoint-dir", ckpt_dir,
+            "--dry-run",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        spec_path = tmp_path / "match.json"
+        spec_path.write_text(out[: out.rindex("spec hash:")])
+        rc = main([
+            "resume", "--from", os.path.join(ckpt_dir, "ckpt_step000004.ckpt"),
+            "--checkpoint-dir", str(tmp_path / "resumed"),
+            "--spec", str(spec_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resuming mpi-2d-LB at step 4/8" in out
+
+    def test_resume_rejects_mismatched_spec_naming_fields(
+        self, tmp_path, capsys
+    ):
+        import json
+        import os
+
+        ckpt_dir, _ = self._run_with_checkpoints(tmp_path, capsys)
+        rc = main([
+            "run", "--impl", "mpi-2d-LB", "--cores", "4",
+            "--cells", "32", "--particles", "400", "--steps", "8",
+            "--faults", self._plan_file(tmp_path),
+            "--checkpoint-every", "4", "--checkpoint-dir", ckpt_dir,
+            "--dry-run",
+        ])
+        out = capsys.readouterr().out
+        doc = json.loads(out[: out.rindex("spec hash:")])
+        doc["impl"]["lb_interval"] = 5
+        spec_path = tmp_path / "mismatch.json"
+        spec_path.write_text(json.dumps(doc))
+        rc = main([
+            "resume", "--from", os.path.join(ckpt_dir, "ckpt_step000004.ckpt"),
+            "--spec", str(spec_path),
+        ])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "different run configuration" in err
+        assert "impl.lb_interval: 5 != 2" in err
+
     def test_resilience_bench_smoke(self, tmp_path, capsys):
         out_path = str(tmp_path / "BENCH_resilience.json")
         rc = main(["resilience", "--preset", "smoke", "--out", out_path])
@@ -247,3 +301,198 @@ class TestResilienceCLI:
 
         assert bench.check_schema(doc) == []
         assert doc["preset"] == "smoke"
+
+
+class TestRunSpecCLI:
+    ARGS = [
+        "--impl", "mpi-2d-LB", "--cores", "4",
+        "--cells", "32", "--particles", "400", "--steps", "8",
+    ]
+
+    def test_dry_run_prints_resolved_spec_without_running(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["run", *self.ARGS, "--dry-run"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "spec hash: " in out
+        assert "PASS" not in out  # nothing ran
+        assert list(tmp_path.iterdir()) == []  # nothing written
+        doc = json.loads(out[: out.rindex("spec hash:")])
+        # fully resolved: driver defaults are filled in, not null
+        assert doc["impl"]["name"] == "mpi-2d-LB"
+        assert doc["impl"]["min_width"] == 1
+        assert doc["impl"]["axes"] == "x"
+        assert doc["workload"]["cells"] == 32
+
+    def test_dry_run_hash_is_canonical(self, capsys):
+        from repro.config import RunSpec
+        from repro.config.build import canonical_hash
+
+        rc = main(["run", *self.ARGS, "--dry-run"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        printed = out[out.rindex("spec hash:"):].split()[-1]
+        rs = RunSpec.from_json(out[: out.rindex("spec hash:")])
+        assert printed == canonical_hash(rs)
+
+    def _write_spec(self, tmp_path, capsys, extra=()):
+        rc = main(["run", *self.ARGS, *extra, "--dry-run"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        path = tmp_path / "spec.json"
+        path.write_text(out[: out.rindex("spec hash:")])
+        return str(path)
+
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, capsys)
+        rc = main(["run", "--spec", spec])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mpi-2d-LB on 4 simulated cores" in out
+        assert "PASS" in out
+
+    def test_explicit_flag_overrides_spec_file(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, capsys)
+        rc = main(["run", "--spec", spec, "--cores", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mpi-2d-LB on 8 simulated cores" in out
+
+    def test_unset_flag_does_not_clobber_spec_file(self, tmp_path, capsys):
+        # The spec says cores=4; the --cores default (24) must not win.
+        spec = self._write_spec(tmp_path, capsys)
+        rc = main(["run", "--spec", spec])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "on 4 simulated cores" in out
+
+    def test_impl_switch_replaces_impl_section(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, capsys)
+        rc = main(["run", "--spec", spec, "--impl", "mpi-2d"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mpi-2d on 4 simulated cores" in out
+
+    def test_bad_spec_file_is_a_clean_error(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({
+            "workload": {"cells": 32, "n_particles": 100, "steps": 2},
+            "impl": {"name": "mpi-2d", "cores": 2, "bogus": 1},
+        }))
+        rc = main(["run", "--spec", str(spec)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "bogus" in err
+
+    def test_serial_accepts_spec_and_dry_run(self, tmp_path, capsys):
+        rc = main([
+            "serial", "--cells", "32", "--particles", "200", "--steps", "5",
+            "--dry-run",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out[: out.rindex("spec hash:")])
+        assert doc["impl"]["name"] == "serial"
+        spec = tmp_path / "serial.json"
+        spec.write_text(out[: out.rindex("spec hash:")])
+        rc = main(["serial", "--spec", str(spec)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+
+
+class TestCampaignCLI:
+    def _declaration(self, tmp_path):
+        doc = {
+            "schema": 1,
+            "campaign": "cli-smoke",
+            "base": {
+                "workload": {"cells": 32, "n_particles": 300, "steps": 4},
+                "impl": {"name": "mpi-2d", "cores": 2},
+            },
+            "axes": [
+                {"axis": "cores", "path": "impl.cores", "values": [2, 4]},
+            ],
+        }
+        path = tmp_path / "camp.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_campaign_runs_then_caches(self, tmp_path, capsys):
+        decl = self._declaration(tmp_path)
+        cache = str(tmp_path / "cache")
+        rc = main(["campaign", decl, "--cache", cache])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 points: 2 executed, 0 cached" in out
+        rc = main(["campaign", decl, "--cache", cache, "--expect-cached"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 points: 0 executed, 2 cached" in out
+
+    def test_expect_cached_fails_on_cold_cache(self, tmp_path, capsys):
+        decl = self._declaration(tmp_path)
+        rc = main([
+            "campaign", decl, "--cache", str(tmp_path / "cold"),
+            "--expect-cached",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "--expect-cached" in captured.err
+
+    def test_bad_declaration_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"campaign": "x"}))
+        rc = main(["campaign", str(path)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "base" in err
+
+
+class TestExecutorPrecedence:
+    ARGS = [
+        "run", "--impl", "mpi-2d", "--cores", "2",
+        "--cells", "32", "--particles", "200", "--steps", "2",
+    ]
+
+    def test_env_sets_backend_when_flag_absent(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "batched")
+        rc = main([*self.ARGS, "--dry-run"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out[: out.rindex("spec hash:")])
+        assert doc["executor"]["kind"] == "batched"
+
+    def test_cli_flag_beats_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "batched")
+        rc = main([*self.ARGS, "--executor", "serial", "--dry-run"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out[: out.rindex("spec hash:")])
+        assert doc["executor"]["kind"] == "serial"
+
+    def test_env_beats_spec_file(self, tmp_path, capsys, monkeypatch):
+        rc = main([*self.ARGS, "--executor", "process", "--dry-run"])
+        out = capsys.readouterr().out
+        spec = tmp_path / "spec.json"
+        spec.write_text(out[: out.rindex("spec hash:")])
+        monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+        rc = main(["run", "--spec", str(spec), "--dry-run"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out[: out.rindex("spec hash:")])
+        assert doc["executor"]["kind"] == "serial"
+
+    def test_executor_choice_does_not_change_hash(self, capsys):
+        rc = main([*self.ARGS, "--executor", "serial", "--dry-run"])
+        out_a = capsys.readouterr().out
+        assert rc == 0
+        rc = main([*self.ARGS, "--executor", "batched", "--workers", "2",
+                   "--dry-run"])
+        out_b = capsys.readouterr().out
+        assert rc == 0
+        hash_a = out_a[out_a.rindex("spec hash:"):]
+        hash_b = out_b[out_b.rindex("spec hash:"):]
+        assert hash_a == hash_b
