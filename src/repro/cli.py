@@ -129,6 +129,15 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
         help="worker processes for --executor process (0 = one per host "
         "core; precedence: this flag > REPRO_WORKERS > --spec file > 0)",
     )
+    p.add_argument(
+        "--kernel-backend",
+        choices=["python", "compiled", "auto"],
+        default=None,
+        help="particle-push kernel: python (numpy), compiled (numba, "
+        "requires the repro[compiled] extra) or auto (compiled when "
+        "available; results are bitwise identical either way; precedence: "
+        "this flag > REPRO_KERNEL_BACKEND > --spec file > auto)",
+    )
 
 
 def _add_spec_file_args(p: argparse.ArgumentParser) -> None:
@@ -305,12 +314,19 @@ def _runspec_from(args: argparse.Namespace, *, serial: bool = False) -> RunSpec:
 def _print_resolved(args: argparse.Namespace, rs: RunSpec) -> int:
     """--dry-run: the fully-resolved spec (driver defaults filled in)."""
     from repro.config.build import canonical_runspec
-    from repro.config.env import resolve_executor, resolve_workers
+    from repro.config.env import (
+        resolve_executor,
+        resolve_kernel_backend,
+        resolve_workers,
+    )
 
     resolved = canonical_runspec(rs).with_overrides(
         executor=ExecutorConfig(
             kind=resolve_executor(_cli_value(args, "executor"), rs.executor.kind),
             workers=resolve_workers(_cli_value(args, "workers"), rs.executor.workers),
+            kernel_backend=resolve_kernel_backend(
+                _cli_value(args, "kernel_backend"), rs.executor.kernel_backend
+            ),
         )
     )
     print(resolved.to_json())
@@ -363,6 +379,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     executor = build_executor(
         rs, cli_kind=_cli_value(args, "executor"),
         cli_workers=_cli_value(args, "workers"),
+        cli_kernel_backend=_cli_value(args, "kernel_backend"),
     )
     impl = build_impl(rs, executor=executor)
     resilience = impl.resilience
@@ -410,6 +427,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     executor = build_executor(
         rs, cli_kind=_cli_value(args, "executor"),
         cli_workers=_cli_value(args, "workers"),
+        cli_kernel_backend=_cli_value(args, "kernel_backend"),
         exec_tracer=exec_spans,
     )
     impl = build_impl(
@@ -500,12 +518,19 @@ def _impl_from_snapshot(snapshot, args: argparse.Namespace):
         recovery=recovery, resume=snapshot,
     )
 
-    from repro.config.env import resolve_executor, resolve_workers
+    from repro.config.env import (
+        resolve_executor,
+        resolve_kernel_backend,
+        resolve_workers,
+    )
     from repro.runtime.executor import make_executor
 
     executor = make_executor(
         resolve_executor(_cli_value(args, "executor")),
         workers=resolve_workers(_cli_value(args, "workers")),
+        kernel_backend=resolve_kernel_backend(
+            _cli_value(args, "kernel_backend")
+        ),
     )
     params = meta.get("params", {})
     common = dict(
@@ -537,6 +562,7 @@ def _impl_from_runspec(snapshot, args: argparse.Namespace):
     executor = build_executor(
         rs, cli_kind=_cli_value(args, "executor"),
         cli_workers=_cli_value(args, "workers"),
+        cli_kernel_backend=_cli_value(args, "kernel_backend"),
     )
     impl = build_impl(rs, executor=executor, resume=snapshot)
     return impl, executor, impl.resilience
@@ -738,6 +764,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (precedence: this flag > REPRO_WORKERS > 0)",
     )
     p.add_argument(
+        "--kernel-backend", choices=["python", "compiled", "auto"],
+        default=None,
+        help="particle-push kernel (bitwise identical either way, so a "
+        "checkpoint written under one backend resumes under the other; "
+        "precedence: this flag > REPRO_KERNEL_BACKEND > auto)",
+    )
+    p.add_argument(
         "--spec", metavar="FILE.json", default=None,
         help="require the checkpoint to match this RunSpec; a hash "
         "mismatch aborts, naming the differing fields",
@@ -817,9 +850,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     aux = build_parser()
     _suppress_defaults(aux)
     args._explicit = set(vars(aux.parse_args(argv)))
+    from repro.core.kernel_compiled import CompiledKernelUnavailable
+
     try:
         return args.fn(args)
-    except ConfigError as exc:
+    except (ConfigError, CompiledKernelUnavailable) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -12,14 +12,19 @@
 
 from repro.config.env import (
     DEFAULT_EXECUTOR,
+    DEFAULT_KERNEL_BACKEND,
     DEFAULT_WORKERS,
     ENV_EXECUTOR,
+    ENV_KERNEL_BACKEND,
     ENV_WORKERS,
     EXECUTOR_KINDS,
+    KERNEL_BACKEND_NAMES,
     EnvConfigError,
     env_executor,
+    env_kernel_backend,
     env_workers,
     resolve_executor,
+    resolve_kernel_backend,
     resolve_workers,
 )
 from repro.config.runspec import (
@@ -41,10 +46,13 @@ __all__ = [
     "ConfigError",
     "CostConfig",
     "DEFAULT_EXECUTOR",
+    "DEFAULT_KERNEL_BACKEND",
     "DEFAULT_WORKERS",
     "ENV_EXECUTOR",
+    "ENV_KERNEL_BACKEND",
     "ENV_WORKERS",
     "EXECUTOR_KINDS",
+    "KERNEL_BACKEND_NAMES",
     "EnvConfigError",
     "ExecutorConfig",
     "ImplConfig",
@@ -57,7 +65,9 @@ __all__ = [
     "canonical_json",
     "diff_docs",
     "env_executor",
+    "env_kernel_backend",
     "env_workers",
     "resolve_executor",
+    "resolve_kernel_backend",
     "resolve_workers",
 ]

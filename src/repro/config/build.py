@@ -16,7 +16,11 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.config.env import resolve_executor, resolve_workers
+from repro.config.env import (
+    resolve_executor,
+    resolve_kernel_backend,
+    resolve_workers,
+)
 from repro.config.runspec import ConfigError, RunSpec
 
 #: LB strategy registry for ``impl.strategy`` (ampi).  All strategies are
@@ -91,16 +95,25 @@ def build_resilience(rs: RunSpec, n_ranks: int, *, resume=None):
 
 
 def build_executor(rs: RunSpec, *, cli_kind=None, cli_workers=None,
-                   exec_tracer=None, environ=None):
+                   cli_kernel_backend=None, exec_tracer=None, environ=None):
     """The compute backend, resolved CLI > env > spec > default.
 
     The caller owns the returned instance and must ``close()`` it.
+    Requesting ``kernel_backend=compiled`` without numba raises
+    :class:`repro.core.kernel_compiled.CompiledKernelUnavailable` here,
+    at build time, rather than mid-run.
     """
     from repro.runtime.executor import make_executor
 
     kind = resolve_executor(cli_kind, rs.executor.kind, environ=environ)
     workers = resolve_workers(cli_workers, rs.executor.workers, environ=environ)
-    return make_executor(kind, workers=workers, exec_tracer=exec_tracer)
+    kernel_backend = resolve_kernel_backend(
+        cli_kernel_backend, rs.executor.kernel_backend, environ=environ
+    )
+    return make_executor(
+        kind, workers=workers, exec_tracer=exec_tracer,
+        kernel_backend=kernel_backend,
+    )
 
 
 def build_impl(

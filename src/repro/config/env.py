@@ -1,8 +1,9 @@
-"""The single home of ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` parsing.
+"""The single home of ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` /
+``REPRO_KERNEL_BACKEND`` parsing.
 
 Every consumer of the executor environment knobs — the CLI, the
 process-wide :func:`repro.runtime.executor.default_executor`, and the
-RunSpec resolution in :mod:`repro.config.build` — goes through the two
+RunSpec resolution in :mod:`repro.config.build` — goes through the
 ``resolve_*`` functions below, which implement one documented precedence
 chain::
 
@@ -24,11 +25,14 @@ from typing import Mapping
 
 ENV_EXECUTOR = "REPRO_EXECUTOR"
 ENV_WORKERS = "REPRO_WORKERS"
+ENV_KERNEL_BACKEND = "REPRO_KERNEL_BACKEND"
 
 EXECUTOR_KINDS = ("serial", "batched", "process")
+KERNEL_BACKEND_NAMES = ("python", "compiled", "auto")
 
 DEFAULT_EXECUTOR = "serial"
 DEFAULT_WORKERS = 0
+DEFAULT_KERNEL_BACKEND = "auto"
 
 
 class EnvConfigError(ValueError):
@@ -66,6 +70,20 @@ def env_workers(environ: Mapping[str, str] | None = None) -> int | None:
     return workers
 
 
+def env_kernel_backend(environ: Mapping[str, str] | None = None) -> str | None:
+    """``REPRO_KERNEL_BACKEND`` as a validated backend name, or None if unset."""
+    environ = os.environ if environ is None else environ
+    raw = (environ.get(ENV_KERNEL_BACKEND) or "").strip()
+    if not raw:
+        return None
+    if raw not in KERNEL_BACKEND_NAMES:
+        raise EnvConfigError(
+            f"{ENV_KERNEL_BACKEND}={raw!r} is not a valid kernel backend; "
+            f"choose from {', '.join(KERNEL_BACKEND_NAMES)}"
+        )
+    return raw
+
+
 def resolve_executor(
     cli: str | None = None,
     spec: str | None = None,
@@ -77,6 +95,29 @@ def resolve_executor(
     if cli is not None:
         return cli
     from_env = env_executor(environ)
+    if from_env is not None:
+        return from_env
+    if spec is not None:
+        return spec
+    return default
+
+
+def resolve_kernel_backend(
+    cli: str | None = None,
+    spec: str | None = None,
+    *,
+    default: str = DEFAULT_KERNEL_BACKEND,
+    environ: Mapping[str, str] | None = None,
+) -> str:
+    """Resolve the kernel backend with CLI > env > spec > default precedence.
+
+    Returns one of ``python``/``compiled``/``auto``; mapping ``auto`` onto
+    a concrete backend (and erroring when ``compiled`` is requested without
+    numba) is :func:`repro.core.kernel_compiled.resolve_backend`'s job.
+    """
+    if cli is not None:
+        return cli
+    from_env = env_kernel_backend(environ)
     if from_env is not None:
         return from_env
     if spec is not None:

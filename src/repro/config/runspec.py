@@ -368,10 +368,19 @@ class ImplConfig:
 
 @dataclass(frozen=True)
 class ExecutorConfig:
-    """Compute-executor backend selection (wall-clock only, never identity)."""
+    """Compute-executor backend selection (wall-clock only, never identity).
+
+    ``kernel_backend`` rides in this section *because* it is excluded from
+    :meth:`RunSpec.identity_dict`: the compiled kernel is bitwise-identical
+    to the python one (tests/core/backend_conformance.py), so the choice
+    can never change what a run computes — only how fast it runs.  The
+    exclusion's safety is itself pinned by tests (a checkpoint written
+    under one backend resumes bit-for-bit under the other).
+    """
 
     kind: str | None = None  # serial | batched | process | None = inherit
     workers: int | None = None
+    kernel_backend: str | None = None  # python | compiled | auto | None = inherit
 
     def __post_init__(self) -> None:
         if self.kind is not None and self.kind not in (
@@ -384,17 +393,31 @@ class ExecutorConfig:
             )
         if self.workers is not None and self.workers < 0:
             raise ConfigError("executor.workers must be >= 0")
+        if self.kernel_backend is not None and self.kernel_backend not in (
+            "python",
+            "compiled",
+            "auto",
+        ):
+            raise ConfigError(
+                "executor.kernel_backend must be python/compiled/auto, "
+                f"got {self.kernel_backend!r}"
+            )
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "workers": self.workers}
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "kernel_backend": self.kernel_backend,
+        }
 
     @classmethod
     def from_dict(cls, doc: Mapping, where: str = "executor") -> "ExecutorConfig":
-        _check_keys(doc, ("kind", "workers"), where)
+        _check_keys(doc, ("kind", "workers", "kernel_backend"), where)
         workers = doc.get("workers")
         return cls(
             kind=doc.get("kind"),
             workers=None if workers is None else int(workers),
+            kernel_backend=doc.get("kernel_backend"),
         )
 
 

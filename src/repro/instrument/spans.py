@@ -195,7 +195,7 @@ class ExecSpan:
     host speed and backend choice.
     """
 
-    phase: str  # "dispatch" | "execute" | "merge"
+    phase: str  # "dispatch" | "execute" | "merge" | "task"
     worker: int
     batch: int
     t_start: float

@@ -46,11 +46,12 @@ class AmpiPIC(ParallelPICBase):
         metrics=None,
         executor=None,
         resilience=None,
+        work_rates=None,
     ):
         super().__init__(
             spec, n_cores, machine=machine, cost=cost, dims=dims, tracer=tracer,
             span_tracer=span_tracer, metrics=metrics, executor=executor,
-            resilience=resilience,
+            resilience=resilience, work_rates=work_rates,
         )
         if overdecomposition < 1:
             raise RuntimeConfigError("overdecomposition degree must be >= 1")

@@ -60,11 +60,12 @@ class Mpi2dLbPIC(ParallelPICBase):
         metrics=None,
         executor=None,
         resilience=None,
+        work_rates=None,
     ):
         super().__init__(
             spec, n_cores, machine=machine, cost=cost, dims=dims, tracer=tracer,
             span_tracer=span_tracer, metrics=metrics, executor=executor,
-            resilience=resilience,
+            resilience=resilience, work_rates=work_rates,
         )
         if lb_interval < 1:
             raise RuntimeConfigError("lb_interval must be >= 1")

@@ -62,8 +62,9 @@ from typing import Any
 
 import numpy as np
 
-from repro.core import kernel
+from repro.core import kernel, kernel_compiled
 from repro.core.kernel import KernelWorkspace, advance_arrays
+from repro.core.kernel_compiled import advance_arrays_compiled
 from repro.core.mesh import Mesh
 
 __all__ = [
@@ -116,9 +117,41 @@ class Executor:
     ``batch`` is a list of ``(world_rank, PushTask)`` in the scheduler's
     deterministic park order.  On return every task's particle arrays must
     be bitwise identical to running ``task.run()`` serially in that order.
+
+    Every backend additionally honors a *kernel backend* selection —
+    ``python`` (the numpy fused kernel) or ``compiled`` (the numba one,
+    see :mod:`repro.core.kernel_compiled`) — either fleet-wide via
+    ``kernel_backend`` or per world rank via ``backend_map`` (rank ->
+    backend name; ranks not in the map use the fleet-wide choice).  The
+    two kernels are bitwise-identical, so the selection can never change
+    results, only wall-clock — which an optional
+    :class:`~repro.runtime.costmodel.WorkRateMeter` (``work_meter``)
+    observes as measured per-rank pushes/sec.
     """
 
     name = "?"
+    #: Concrete kernel backend after resolution: "python" or "compiled".
+    kernel_backend = "python"
+
+    def _init_kernel_backend(
+        self, kernel_backend, backend_map, work_meter, exec_tracer=None
+    ) -> None:
+        """Shared constructor tail: resolve backend names eagerly so a
+        ``compiled`` request without numba fails at build time."""
+        resolve = kernel_compiled.resolve_backend
+        self.kernel_backend = (
+            "python" if kernel_backend is None else resolve(kernel_backend)
+        )
+        self.backend_map = (
+            {}
+            if not backend_map
+            else {int(r): resolve(b) for r, b in backend_map.items()}
+        )
+        self.work_meter = work_meter
+        self.exec_tracer = exec_tracer
+
+    def _backend_for(self, rank: int) -> str:
+        return self.backend_map.get(rank, self.kernel_backend)
 
     def run_batch(self, batch: list[tuple[int, Any]]) -> None:
         raise NotImplementedError
@@ -131,14 +164,61 @@ class Executor:
         return {}
 
 
+def _run_task(task, backend: str, workspace=None) -> None:
+    """Run one task's push under the chosen kernel backend.
+
+    The python path goes through ``task.run()`` (a dynamic
+    ``kernel.advance`` call) so perf-harness monkeypatches keep applying;
+    the compiled path calls the numba kernel on the particle fields.
+    """
+    if backend == "python":
+        task.run(workspace)
+    else:
+        p = task.particles
+        advance_arrays_compiled(
+            task.mesh, p.x, p.y, p.vx, p.vy, p.q, task.dt
+        )
+
+
 class SerialExecutor(Executor):
     """Reference backend: each task inline, in park order."""
 
     name = "serial"
 
+    def __init__(
+        self,
+        kernel_backend: str | None = None,
+        backend_map=None,
+        work_meter=None,
+        exec_tracer=None,
+    ) -> None:
+        self._init_kernel_backend(
+            kernel_backend, backend_map, work_meter, exec_tracer
+        )
+        self.batches = 0
+        self._epoch: float | None = None
+
     def run_batch(self, batch: list[tuple[int, Any]]) -> None:
-        for _rank, task in batch:
-            task.run()
+        self.batches += 1
+        measure = self.work_meter is not None or self.exec_tracer is not None
+        if not measure:
+            for rank, task in batch:
+                _run_task(task, self._backend_for(rank))
+            return
+        if self._epoch is None:
+            self._epoch = time.perf_counter()
+        for rank, task in batch:
+            n = len(task.particles)
+            t0 = time.perf_counter()
+            _run_task(task, self._backend_for(rank))
+            dt = time.perf_counter() - t0
+            if self.work_meter is not None:
+                self.work_meter.record(rank, n, dt)
+            if self.exec_tracer is not None:
+                self.exec_tracer.record(
+                    "task", rank, self.batches,
+                    t0 - self._epoch, t0 - self._epoch + dt, n=n, rank=rank,
+                )
 
 
 class BatchedExecutor(Executor):
@@ -157,32 +237,60 @@ class BatchedExecutor(Executor):
     #: x, y, vx, vy are copied back; q is read-only in the kernel.
     _N_STAGE_ROWS = 5
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        kernel_backend: str | None = None,
+        backend_map=None,
+        work_meter=None,
+        exec_tracer=None,
+    ) -> None:
+        self._init_kernel_backend(
+            kernel_backend, backend_map, work_meter, exec_tracer
+        )
         self._stage = np.empty((self._N_STAGE_ROWS, 0), dtype=np.float64)
         self.batches = 0
         self.fused_tasks = 0
 
     def run_batch(self, batch: list[tuple[int, Any]]) -> None:
+        # Grouping by backend keeps fusion sound per kernel: a mixed
+        # backend_map yields one fused call per (mesh, dt, backend).
         groups: dict[tuple, list] = {}
         order: list[tuple] = []
-        for _rank, task in batch:
+        for rank, task in batch:
             if len(task.particles) == 0:
                 continue
-            key = (task.mesh, task.dt)
+            key = (task.mesh, task.dt, self._backend_for(rank))
             if key not in groups:
                 groups[key] = []
                 order.append(key)
-            groups[key].append(task)
+            groups[key].append((rank, task))
         self.batches += 1
+        measure = self.work_meter is not None or self.exec_tracer is not None
         for key in order:
-            tasks = groups[key]
-            if len(tasks) == 1:
-                tasks[0].run()
-                continue
-            self.fused_tasks += len(tasks)
-            self._run_fused(key[0], key[1], tasks)
+            mesh, dt, backend = key
+            pairs = groups[key]
+            t0 = time.perf_counter() if measure else 0.0
+            if len(pairs) == 1:
+                _run_task(pairs[0][1], backend)
+            else:
+                self.fused_tasks += len(pairs)
+                self._run_fused(mesh, dt, backend, [t for _, t in pairs])
+            if measure:
+                elapsed = time.perf_counter() - t0
+                total = sum(len(t.particles) for _, t in pairs)
+                if self.exec_tracer is not None:
+                    self.exec_tracer.record(
+                        "execute", -1, self.batches, 0.0, elapsed,
+                        tasks=len(pairs), n=total,
+                    )
+                if self.work_meter is not None and total:
+                    # A fused group yields one timing; attribute it to the
+                    # member ranks proportionally to their particle share.
+                    for rank, t in pairs:
+                        n = len(t.particles)
+                        self.work_meter.record(rank, n, elapsed * n / total)
 
-    def _run_fused(self, mesh: Mesh, dt: float, tasks: list) -> None:
+    def _run_fused(self, mesh: Mesh, dt: float, backend: str, tasks: list) -> None:
         total = sum(len(t.particles) for t in tasks)
         if self._stage.shape[1] < total:
             self._stage = np.empty(
@@ -202,7 +310,10 @@ class BatchedExecutor(Executor):
             q[o : o + n] = p.q
             bounds.append((o, o + n))
             o += n
-        advance_arrays(mesh, x, y, vx, vy, q, dt)
+        if backend == "python":
+            advance_arrays(mesh, x, y, vx, vy, q, dt)
+        else:
+            advance_arrays_compiled(mesh, x, y, vx, vy, q, dt)
         for t, (a, b) in zip(tasks, bounds):
             p = t.particles
             p.x[:] = x[a:b]
@@ -333,18 +444,27 @@ def _attach_segment(name: str):
         return shared_memory.SharedMemory(name=name)
 
 
-def _worker_main(conn) -> None:
+def _worker_main(conn, kernel_backend: str = "python") -> None:
     """Worker loop: receive task descriptors, push particles in place.
 
-    A descriptor is ``(field_locs, n, mesh_args, dt)`` where ``field_locs``
-    is five ``(segment_name, byte_offset)`` pairs for x, y, vx, vy, q.  All
-    work happens through shared-memory views; the reply is only
-    ``(execute_seconds, particles_pushed)``.
+    A descriptor is ``(field_locs, n, mesh_args, dt, backend)`` where
+    ``field_locs`` is five ``(segment_name, byte_offset)`` pairs for x, y,
+    vx, vy, q and ``backend`` names the kernel to run it under.  All work
+    happens through shared-memory views; the reply is
+    ``(execute_seconds, particles_pushed, per_task)`` with ``per_task`` a
+    list of ``(seconds, n)`` in descriptor order.
+
+    ``kernel_backend`` is the pool's fleet-wide backend: when it (or any
+    per-rank override — the parent passes "compiled" if *any* rank may use
+    it) needs the JIT, the worker compiles the numba kernel *before* the
+    ready handshake, so the one-time warm-up lands in ``pool_startup_s`` /
+    ``jit_warmup_s`` and never inside a timed step.
     """
     segments: dict[str, Any] = {}
     workspace = KernelWorkspace()
     mesh_cache: dict[tuple, Mesh] = {}
-    conn.send(("ready", os.getpid()))
+    warm_s = kernel_compiled.warmup(kernel_backend)
+    conn.send(("ready", os.getpid(), warm_s))
     views = []
     while True:
         try:
@@ -355,7 +475,9 @@ def _worker_main(conn) -> None:
             break
         t0 = time.perf_counter()
         pushed = 0
-        for field_locs, n, mesh_args, dt in msg:
+        per_task = []
+        for field_locs, n, mesh_args, dt, backend in msg:
+            t1 = time.perf_counter()
             del views[:]
             for seg_name, off in field_locs:
                 shm = segments.get(seg_name)
@@ -369,10 +491,14 @@ def _worker_main(conn) -> None:
             if mesh is None:
                 mesh = Mesh(*mesh_args)
                 mesh_cache[mesh_args] = mesh
-            advance_arrays(mesh, *views, dt, workspace=workspace)
+            if backend == "python":
+                advance_arrays(mesh, *views, dt, workspace=workspace)
+            else:
+                advance_arrays_compiled(mesh, *views, dt)
             pushed += n
+            per_task.append((time.perf_counter() - t1, n))
         del views[:]
-        conn.send((time.perf_counter() - t0, pushed))
+        conn.send((time.perf_counter() - t0, pushed, per_task))
     for shm in segments.values():
         try:
             shm.close()
@@ -417,17 +543,23 @@ class ProcessExecutor(Executor):
         workers: int = 0,
         exec_tracer=None,
         mp_context: str | None = None,
+        kernel_backend: str | None = None,
+        backend_map=None,
+        work_meter=None,
     ) -> None:
         self.workers = int(workers) if workers else (os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError("need at least one worker")
+        self._init_kernel_backend(
+            kernel_backend, backend_map, work_meter, exec_tracer
+        )
         self._ctx_name = mp_context or os.environ.get("REPRO_MP_CONTEXT", "spawn")
         self.arena = ShmArena()
-        self.exec_tracer = exec_tracer
         self._procs: list = []
         self._conns: list = []
         self._epoch: float | None = None
         self.pool_startup_s = 0.0
+        self.jit_warmup_s = 0.0
         self.batches = 0
         self.tasks_executed = 0
         self.particles_pushed = 0
@@ -441,11 +573,15 @@ class ProcessExecutor(Executor):
 
         t0 = time.perf_counter()
         ctx = mp.get_context(self._ctx_name)
+        # Workers pre-warm the JIT whenever any rank may run compiled.
+        warm_backend = self.kernel_backend
+        if warm_backend == "python" and "compiled" in self.backend_map.values():
+            warm_backend = "compiled"
         for i in range(self.workers):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child_conn,),
+                args=(child_conn, warm_backend),
                 name=f"repro-exec-{i}",
                 daemon=True,
             )
@@ -454,7 +590,8 @@ class ProcessExecutor(Executor):
             self._procs.append(proc)
             self._conns.append(parent_conn)
         for conn in self._conns:
-            conn.recv()  # ready handshake
+            msg = conn.recv()  # ready handshake
+            self.jit_warmup_s = max(self.jit_warmup_s, msg[2])
         self.pool_startup_s = time.perf_counter() - t0
         self._epoch = time.perf_counter()
 
@@ -479,7 +616,7 @@ class ProcessExecutor(Executor):
         self.start()
         t_d0 = self._now()
         descs = []
-        for _rank, task in work:
+        for rank, task in work:
             m = task.mesh
             descs.append(
                 (
@@ -487,6 +624,7 @@ class ProcessExecutor(Executor):
                     len(task.particles),
                     (m.cells, m.h, m.q),
                     task.dt,
+                    self._backend_for(rank),
                 )
             )
         sizes = [d[1] for d in descs]
@@ -501,13 +639,19 @@ class ProcessExecutor(Executor):
         # disjoint shared-memory regions in place, so "merge" is the
         # deterministic completion barrier, not a copy.
         durations: dict[int, float] = {}
+        tasks_by_worker: dict[int, list] = {}
         for w in used:
-            dur, pushed = self._conns[w].recv()
+            dur, pushed, per_task = self._conns[w].recv()
             durations[w] = dur
+            tasks_by_worker[w] = per_task
             self.particles_pushed += pushed
         t_merged = self._now()
         self.batches += 1
         self.tasks_executed += len(work)
+        if self.work_meter is not None:
+            for w in used:
+                for i, (task_s, n) in zip(bins[w], tasks_by_worker[w]):
+                    self.work_meter.record(work[i][0], n, task_s)
         tr = self.exec_tracer
         if tr is not None:
             tr.record("dispatch", -1, self.batches, t_d0, t_sent, tasks=len(work))
@@ -516,12 +660,24 @@ class ProcessExecutor(Executor):
                     "execute", w, self.batches, t_sent, t_sent + durations[w],
                     tasks=len(bins[w]),
                 )
+                # Per-task wall spans on the worker's sequential timeline,
+                # tagged with the owning world rank: the measured-rate
+                # evidence behind WorkRateMeter, kept out of golden traces.
+                t_task = t_sent
+                for i, (task_s, n) in zip(bins[w], tasks_by_worker[w]):
+                    tr.record(
+                        "task", w, self.batches, t_task, t_task + task_s,
+                        rank=work[i][0], n=n,
+                    )
+                    t_task += task_s
             tr.record("merge", -1, self.batches, t_sent, t_merged, tasks=len(used))
 
     def stats(self) -> dict:
         return dict(
             workers=self.workers,
             pool_startup_s=self.pool_startup_s,
+            jit_warmup_s=self.jit_warmup_s,
+            kernel_backend=self.kernel_backend,
             batches=self.batches,
             tasks_executed=self.tasks_executed,
             particles_pushed=self.particles_pushed,
@@ -555,14 +711,32 @@ class ProcessExecutor(Executor):
 # ----------------------------------------------------------------------
 # Construction
 # ----------------------------------------------------------------------
-def make_executor(name: str, workers: int = 0, exec_tracer=None) -> Executor:
-    """Build a backend by name (the CLI's ``--executor`` values)."""
+def make_executor(
+    name: str,
+    workers: int = 0,
+    exec_tracer=None,
+    kernel_backend: str | None = None,
+    backend_map=None,
+    work_meter=None,
+) -> Executor:
+    """Build a backend by name (the CLI's ``--executor`` values).
+
+    ``kernel_backend`` is a request name (python/compiled/auto, None =
+    python); it is resolved eagerly, so asking for ``compiled`` without
+    numba raises here, not mid-run.
+    """
+    kw = dict(
+        kernel_backend=kernel_backend,
+        backend_map=backend_map,
+        work_meter=work_meter,
+        exec_tracer=exec_tracer,
+    )
     if name == "serial":
-        return SerialExecutor()
+        return SerialExecutor(**kw)
     if name == "batched":
-        return BatchedExecutor()
+        return BatchedExecutor(**kw)
     if name == "process":
-        return ProcessExecutor(workers=workers, exec_tracer=exec_tracer)
+        return ProcessExecutor(workers=workers, **kw)
     raise ValueError(f"unknown executor {name!r} (serial, batched, process)")
 
 
@@ -579,10 +753,16 @@ def default_executor() -> Executor:
     """
     global _DEFAULT
     if _DEFAULT is None:
-        from repro.config.env import resolve_executor, resolve_workers
+        from repro.config.env import (
+            resolve_executor,
+            resolve_kernel_backend,
+            resolve_workers,
+        )
 
         _DEFAULT = make_executor(
-            resolve_executor(), workers=resolve_workers()
+            resolve_executor(),
+            workers=resolve_workers(),
+            kernel_backend=resolve_kernel_backend(),
         )
         if isinstance(_DEFAULT, ProcessExecutor):
             atexit.register(_DEFAULT.close)

@@ -134,6 +134,7 @@ class Scheduler:
         metrics=None,
         executor=None,
         resilience=None,
+        work_rates=None,
     ):
         if n_ranks <= 0:
             raise RuntimeConfigError("need at least one rank")
@@ -172,6 +173,15 @@ class Scheduler:
         #: Unlike tracer/metrics this one is *not* purely observational: an
         #: attached fault plan perturbs simulated time (deterministically).
         self.resilience = resilience
+        #: Optional :class:`repro.runtime.costmodel.WorkRateMeter` keyed by
+        #: world rank.  When set, each rank's modelled compute charge is
+        #: scaled by its measured slowdown relative to the fleet's fastest
+        #: rank, so heterogeneous kernel backends surface as real simulated
+        #: imbalance.  Applied only to task-carrying compute ops (the
+        #: particle push — the phase the meter actually measures), before
+        #: any resilience scaling.  ``None`` (the default) leaves every
+        #: simulated timestamp untouched.
+        self.work_rates = work_rates
         self.transport = Transport(n_ranks, metrics=metrics)
         self.clock = [0.0] * n_ranks
         #: Current step of each rank (-1 before the first annotation),
@@ -334,6 +344,12 @@ class Scheduler:
             # fault plan scales the charge (slowdown faults) here, at the
             # single point every compute phase passes through.
             seconds = op.seconds
+            if (
+                self.work_rates is not None
+                and op.task is not None
+                and seconds > 0.0
+            ):
+                seconds = self.work_rates.scale_compute(r, seconds)
             if self.resilience is not None and seconds > 0.0:
                 seconds = self.resilience.scale_compute(self, r, seconds)
             end = self._occupy(r, seconds)
@@ -644,6 +660,7 @@ def run_spmd(
     metrics=None,
     executor=None,
     resilience=None,
+    work_rates=None,
 ) -> SpmdResult:
     """Convenience wrapper: run one program (or one per rank) on ``n_ranks``.
 
@@ -659,6 +676,7 @@ def run_spmd(
         metrics=metrics,
         executor=executor,
         resilience=resilience,
+        work_rates=work_rates,
     )
     if callable(program):
         programs = [program] * n_ranks

@@ -1,12 +1,14 @@
-"""Tests for the consolidated REPRO_EXECUTOR / REPRO_WORKERS parsing."""
+"""Tests for REPRO_EXECUTOR / REPRO_WORKERS / REPRO_KERNEL_BACKEND parsing."""
 
 import pytest
 
 from repro.config.env import (
     EnvConfigError,
     env_executor,
+    env_kernel_backend,
     env_workers,
     resolve_executor,
+    resolve_kernel_backend,
     resolve_workers,
 )
 
@@ -65,6 +67,44 @@ class TestPrecedence:
 
     def test_cli_zero_workers_is_explicit_not_fallthrough(self):
         assert resolve_workers(0, 5, environ=self.ENV) == 0
+
+
+class TestKernelBackendChain:
+    """Same CLI > env > spec > default chain for --kernel-backend."""
+
+    ENV = {"REPRO_KERNEL_BACKEND": "compiled"}
+
+    def test_env_parsing(self):
+        assert env_kernel_backend({}) is None
+        assert env_kernel_backend({"REPRO_KERNEL_BACKEND": "  "}) is None
+        for name in ("python", "compiled", "auto"):
+            assert env_kernel_backend({"REPRO_KERNEL_BACKEND": name}) == name
+        with pytest.raises(EnvConfigError, match="fortran"):
+            env_kernel_backend({"REPRO_KERNEL_BACKEND": "fortran"})
+
+    def test_cli_wins(self):
+        assert (
+            resolve_kernel_backend("python", "auto", environ=self.ENV)
+            == "python"
+        )
+
+    def test_env_wins_over_spec(self):
+        assert (
+            resolve_kernel_backend(None, "python", environ=self.ENV)
+            == "compiled"
+        )
+
+    def test_spec_wins_over_default(self):
+        assert resolve_kernel_backend(None, "python", environ={}) == "python"
+
+    def test_default_is_auto(self):
+        assert resolve_kernel_backend(environ={}) == "auto"
+
+    def test_resolution_yields_a_request_not_a_backend(self):
+        """The chain picks the *request* (possibly ``auto``); mapping auto
+        to a concrete backend is kernel_compiled.resolve_backend's job, so
+        the numba probe happens exactly once, at executor construction."""
+        assert resolve_kernel_backend(None, None, environ={}) == "auto"
 
 
 class TestDefaultExecutorUsesChain:

@@ -31,6 +31,7 @@ from repro.resilience import (
     StragglerWatch,
 )
 from repro.runtime.executor import make_executor
+from tests.core.backend_conformance import requires_numba
 
 SPEC = PICSpec(
     cells=32, n_particles=900, steps=12,
@@ -83,7 +84,7 @@ EXECUTORS = [
 ]
 
 
-def _run(cls, params, ckpt_dir, executor, *, resume=None):
+def _run(cls, params, ckpt_dir, executor, *, resume=None, backend="python"):
     cfg = ResilienceConfig(
         plan=PLAN,
         watch=StragglerWatch(cls(SPEC, CORES, **params).n_ranks),
@@ -91,7 +92,7 @@ def _run(cls, params, ckpt_dir, executor, *, resume=None):
         recovery=RecoveryPolicy(),
         resume=resume,
     )
-    ex = make_executor(executor[0], workers=executor[1])
+    ex = make_executor(executor[0], workers=executor[1], kernel_backend=backend)
     tracer = Tracer()
     impl = cls(SPEC, CORES, span_tracer=tracer, executor=ex,
                resilience=cfg, **params)
@@ -147,6 +148,55 @@ def test_resume_is_bitwise_identical(cls, params, executor, tmp_path):
         a = open(os.path.join(full_dir, name), "rb").read()
         b = open(os.path.join(resumed_dir, name), "rb").read()
         assert a == b, f"{name} differs between uninterrupted and resumed run"
+
+
+#: (checkpoint-writing backend, resuming backend).  The ``auto`` leg runs
+#: everywhere and resolves to *either* concrete backend depending on the
+#: host — which is exactly the claim: the choice cannot matter.
+CROSS_BACKENDS = [
+    pytest.param(("python", "auto"), id="python-to-auto"),
+    pytest.param(
+        ("compiled", "python"), id="compiled-to-python",
+        marks=requires_numba,
+    ),
+    pytest.param(
+        ("python", "compiled"), id="python-to-compiled",
+        marks=requires_numba,
+    ),
+]
+
+
+@pytest.mark.parametrize("pair", CROSS_BACKENDS)
+@pytest.mark.parametrize("cls,params", IMPLS[:1])
+def test_cross_backend_resume_is_bitwise_identical(cls, params, pair, tmp_path):
+    """A checkpoint written under one kernel backend resumes bit-for-bit
+    under the other — the concrete justification for excluding
+    ``kernel_backend`` from ``spec_hash`` (checkpoints and cached results
+    stay valid however they are later recomputed)."""
+    write_backend, resume_backend = pair
+    full_dir = str(tmp_path / "full")
+    full, full_final, _ = _run(
+        cls, params, full_dir, ("serial", 0), backend=write_backend
+    )
+
+    snapshot = Snapshot.load(os.path.join(full_dir, RESUME_FILE))
+    resumed, res_final, _ = _run(
+        cls, params, str(tmp_path / "resumed"), ("serial", 0),
+        resume=snapshot, backend=resume_backend,
+    )
+
+    assert resumed.total_time == full.total_time
+    assert resumed.rank_times == full.rank_times
+    assert set(res_final) == set(full_final)
+    for rank, particles in full_final.items():
+        assert res_final[rank].pack().tobytes() == particles.pack().tobytes(), (
+            f"rank {rank} diverged resuming {write_backend} -> {resume_backend}"
+        )
+    # Later checkpoints re-taken by the resumed run are byte-identical too.
+    for name in ("ckpt_step000008.ckpt", "ckpt_step000012.ckpt"):
+        a = open(os.path.join(full_dir, name), "rb").read()
+        b = open(os.path.join(tmp_path / "resumed", name), "rb").read()
+        assert a == b, f"{name} differs across backends"
 
 
 def test_resume_from_each_checkpoint(tmp_path):

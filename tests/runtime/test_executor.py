@@ -18,6 +18,9 @@ from repro.runtime.executor import (
     _partition,
     make_executor,
 )
+from repro.core.kernel_compiled import HAVE_NUMBA, CompiledKernelUnavailable
+from repro.instrument import ExecutorTrace
+from repro.runtime.costmodel import WorkRateMeter
 from repro.runtime.scheduler import run_spmd
 
 
@@ -287,3 +290,73 @@ class TestSchedulerBatching:
         op = ops.ComputeOp(1.0, task="marker")
         assert op.task == "marker"
         assert ops.ComputeOp(1.0).task is None
+
+
+class TestKernelBackendPlumbing:
+    """Backend selection, work-rate metering and warm-up accounting."""
+
+    def test_default_backend_is_python(self):
+        for ex in (SerialExecutor(), BatchedExecutor(), ProcessExecutor(workers=1)):
+            assert ex.kernel_backend == "python"
+            ex.close()
+
+    def test_auto_resolves_eagerly_to_a_concrete_backend(self):
+        ex = SerialExecutor(kernel_backend="auto")
+        assert ex.kernel_backend == ("compiled" if HAVE_NUMBA else "python")
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="needs a numba-less environment")
+    def test_compiled_without_numba_fails_at_construction(self):
+        for name in ("serial", "batched", "process"):
+            with pytest.raises(CompiledKernelUnavailable):
+                make_executor(name, workers=1, kernel_backend="compiled")
+        with pytest.raises(CompiledKernelUnavailable):
+            SerialExecutor(backend_map={2: "compiled"})
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SerialExecutor(kernel_backend="fortran")
+
+    def test_backend_map_overrides_fleet_default(self):
+        ex = SerialExecutor(kernel_backend="python", backend_map={1: "auto"})
+        assert ex._backend_for(0) == "python"
+        assert ex._backend_for(1) == ("compiled" if HAVE_NUMBA else "python")
+
+    @pytest.mark.parametrize("name,workers", [("serial", 0), ("batched", 0), ("process", 2)])
+    def test_work_meter_records_per_rank_rates(self, name, workers):
+        mesh = Mesh(cells=8)
+        meter = WorkRateMeter()
+        ex = make_executor(name, workers=workers, work_meter=meter)
+        try:
+            ex.run_batch(_push_batch(mesh, 0.05, [5000, 8000]))
+        finally:
+            ex.close()
+        rates = meter.rates()
+        assert set(rates) == {0, 1}
+        assert all(r > 0.0 for r in rates.values())
+
+    def test_metered_run_stays_bitwise_exact(self):
+        mesh = Mesh(cells=8)
+        ex = SerialExecutor(work_meter=WorkRateMeter())
+        batch = _push_batch(mesh, 0.05, [3000, 700])
+        ex.run_batch(batch)
+        for (_, task), oracle in zip(batch, _serial_oracle(mesh, 0.05, [3000, 700])):
+            _assert_fields_equal(task.particles, oracle)
+
+    def test_process_stats_report_backend_and_warmup(self):
+        ex = ProcessExecutor(workers=1)
+        ex.start()
+        try:
+            stats = ex.stats()
+        finally:
+            ex.close()
+        assert stats["kernel_backend"] == "python"
+        assert stats["jit_warmup_s"] == 0.0  # python backend: no JIT to warm
+
+    def test_serial_task_spans_carry_ranks(self):
+        mesh = Mesh(cells=8)
+        tr = ExecutorTrace()
+        ex = SerialExecutor(exec_tracer=tr)
+        ex.run_batch(_push_batch(mesh, 0.05, [500, 600, 700]))
+        task_spans = [s for s in tr.spans if s.phase == "task"]
+        assert {s.args_dict()["rank"] for s in task_spans} == {0, 1, 2}
+        assert all(s.duration >= 0.0 for s in task_spans)
