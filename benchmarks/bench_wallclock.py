@@ -41,6 +41,12 @@ def main(argv=None) -> int:
         help="prior BENCH_wallclock.json to gate speedup ratios against",
     )
     ap.add_argument("--tolerance", type=float, default=perf.DEFAULT_TOLERANCE)
+    ap.add_argument(
+        "--require-live", metavar="KIND", action="append", default=[],
+        help="fail if any entry of this kind recorded gate_skipped instead "
+        "of running its gate (e.g. --require-live workers on a CI runner "
+        "that is known to have >= 4 cores); repeatable",
+    )
     args = ap.parse_args(argv)
 
     print(f"wall-clock perf suite (preset={args.preset}):")
@@ -49,6 +55,13 @@ def main(argv=None) -> int:
     print(f"wrote {args.out}")
 
     failures = perf.check_gates(doc)
+    for kind in args.require_live:
+        for e in doc["entries"]:
+            if e["kind"] == kind and e.get("gate_skipped"):
+                failures.append(
+                    f"{e['name']}: gate skipped ({e['gate_skipped']}) but "
+                    f"--require-live {kind} demands it runs on this host"
+                )
     if args.baseline:
         failures += perf.check_regression(
             doc, perf.load_bench(args.baseline), args.tolerance

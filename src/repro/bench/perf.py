@@ -57,6 +57,19 @@ Three drivers:
     bitwise identical (``bitwise_match``), so the ratio is also a
     conformance check.
 
+``kernel_backend_parallel``
+    The prange compiled-parallel kernel against the scalar compiled one,
+    gated at >=2.5x where numba is installed and the host has >= 4 cores
+    (honest ``gate_skipped`` otherwise; the per-entry ``env`` stamp makes
+    the skip auditable).
+
+``dispatch``
+    Steady-state parent-side dispatch cost per (step x rank) of the
+    shared-memory task rings vs the legacy pickled-descriptor pipe path,
+    from the ExecSpan breakdown
+    (:func:`repro.bench.reporting.dispatch_breakdown`).  Gated at >=5x
+    unconditionally — dispatch cost is parent-side, so one core suffices.
+
 Both sides of every end-to-end entry must produce *identical simulated
 time* and pass the PRK verification — recorded as ``sim_time_match`` — so a
 benchmark run is also a differential test of the optimisation.
@@ -92,6 +105,25 @@ SCHEMA_VERSION = 1
 DEFAULT_TOLERANCE = 0.25
 
 _FIG6_R = rescale_r(0.999, 2998, FIG6_CELLS)
+
+
+def _entry_env() -> dict:
+    """Per-entry environment stamp: makes conditional gates auditable.
+
+    Every entry records the cpu count, python version and the concrete
+    kernel backend the harness would resolve ``auto`` to — so a
+    ``gate_skipped`` in a checked-in BENCH_wallclock.json can be verified
+    against the machine that produced it, not just taken on faith.
+    """
+    import os
+
+    from repro.core import kernel_compiled
+
+    return dict(
+        cpu_count=os.cpu_count(),
+        python=platform.python_version(),
+        kernel_backend=kernel_compiled.resolve_backend("auto"),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -162,6 +194,7 @@ def bench_kernel(n: int, steps: int, *, cells: int = FIG6_CELLS) -> dict:
     return dict(
         name=f"kernel_n{n}",
         kind="kernel",
+        env=_entry_env(),
         params=dict(n_particles=n, steps=steps, cells=cells),
         baseline_s=timings["baseline"],
         optimized_s=timings["optimized"],
@@ -203,6 +236,7 @@ def bench_kernel_backend(
     entry = dict(
         name=f"kernel_backend_n{n}",
         kind="kernel_backend",
+        env=_entry_env(),
         params=dict(n_particles=n, steps=steps, cells=cells),
         baseline_s=python_s,
         python_pushes_per_sec=n / python_s,
@@ -285,6 +319,7 @@ def _bench_sim(
     return dict(
         name=name,
         kind=kind,
+        env=_entry_env(),
         params=dict(
             n_particles=spec.n_particles, steps=spec.steps,
             cells=spec.cells, cores=cores,
@@ -374,7 +409,10 @@ def bench_worker_sweep(
     wall_by_count: dict[int, float] = {}
     for w in workers:
         ex = ProcessExecutor(workers=w)
-        ex.start()  # warm the pool before any timed repetition
+        # Warm the pool before any timed repetition: spawn concurrently,
+        # then block for the handshakes so pool_startup_s is final.
+        ex.start()
+        ex.ensure_ready()
         best = float("inf")
         try:
             for _ in range(reps):
@@ -399,6 +437,7 @@ def bench_worker_sweep(
     entry = dict(
         name=f"workers_n{n}_c{cores}",
         kind="workers",
+        env=_entry_env(),
         params=dict(
             n_particles=n, steps=steps, cells=spec.cells, cores=cores,
             workers=list(workers), reps=reps,
@@ -416,6 +455,160 @@ def bench_worker_sweep(
         entry["gate_skipped"] = (
             f"host has {cpu} cpu(s); the {gate}x gate for {top} workers "
             "is only meaningful with >= that many cores"
+        )
+    return entry
+
+
+def bench_dispatch(
+    n: int,
+    steps: int,
+    *,
+    cores: int = 4,
+    workers: int = 2,
+    gate: float = 5.0,
+) -> dict:
+    """Steady-state dispatch cost per (step x rank): ring vs pipe.
+
+    Runs the same simulation through the process pool twice — once with
+    the shared-memory task rings and the cached dispatch plan, once with
+    the legacy pickled-descriptor pipe path — each under an
+    :class:`~repro.instrument.ExecutorTrace`, and compares the *parent-
+    side dispatch CPU seconds per task* from the span breakdown
+    (:func:`repro.bench.reporting.dispatch_breakdown`).  The first batch
+    is excluded on both sides: that is where the ring path pays its one
+    plan resolution, and the claim under test is the steady state.
+
+    CPU seconds, not wall: dispatch cost is parent-side bookkeeping, and
+    on an oversubscribed host the doorbell wakes workers that preempt
+    the parent mid-window, double-counting their kernel time into the
+    wall span (see ``dispatch_breakdown``).  Metering the parent's own
+    CPU makes the gate meaningful even on a single-core host — unlike
+    the worker-scaling gate, it carries no cpu-count condition.
+    ``sim_time_match`` doubles as the proof that the two dispatch paths
+    computed the same run, and ``plan_hits``/``plan_misses`` audit that
+    the ring path really was on its cached-plan fast path.
+    """
+    from repro.bench.reporting import dispatch_breakdown
+    from repro.instrument import ExecutorTrace
+    from repro.runtime.executor import ProcessExecutor
+
+    spec = _fig6_spec(n, steps)
+    cost = scaled_cost(MachineModel(), 1.0)
+    per_task = {}
+    sims = {}
+    breakdowns = {}
+    plan = {}
+    for path in ("ring", "pipe"):
+        tracer = ExecutorTrace()
+        ex = ProcessExecutor(workers=workers, dispatch=path, exec_tracer=tracer)
+        try:
+            _wall, sims[path] = _run_sim(spec, cores, cost, executor=ex)
+            plan[path] = dict(hits=ex.plan_hits, misses=ex.plan_misses)
+        finally:
+            ex.close()
+        bd = dispatch_breakdown(tracer.spans)
+        breakdowns[path] = bd["totals"]
+        per_task[path] = bd["totals"]["steady_dispatch_cpu_s_per_task"]
+    return dict(
+        name=f"dispatch_n{n}_c{cores}_w{workers}",
+        kind="dispatch",
+        env=_entry_env(),
+        params=dict(
+            n_particles=n, steps=steps, cells=spec.cells, cores=cores,
+            workers=workers,
+        ),
+        baseline_s=per_task["pipe"],
+        optimized_s=per_task["ring"],
+        speedup=per_task["pipe"] / per_task["ring"],
+        pushes_per_sec=n * steps / max(per_task["ring"], 1e-12),
+        sim_time_s=sims["ring"],
+        sim_time_match=bool(sims["ring"] == sims["pipe"]),
+        plan_hits=plan["ring"]["hits"],
+        plan_misses=plan["ring"]["misses"],
+        ring_totals=breakdowns["ring"],
+        pipe_totals=breakdowns["pipe"],
+        gate_min_speedup=gate,
+    )
+
+
+def bench_kernel_backend_parallel(
+    n: int, steps: int, *, cells: int = FIG6_CELLS, gate: float = 2.5
+) -> dict:
+    """compiled-parallel (prange) vs scalar compiled, same population.
+
+    Both sides are numba kernels; the ratio isolates what the prange over
+    fixed chunk boundaries buys on a multi-core host.  The ``gate``x
+    floor applies only where numba is installed AND the host has >= 4
+    cores — one core cannot witness thread-level speedup, so there the
+    entry records an honest ``gate_skipped`` (with the cpu count in the
+    ``env`` stamp to audit it).  The two runs start bitwise identical and
+    must end bitwise identical (``bitwise_match``): chunked prange is
+    elementwise, so thread count can never change a result bit.
+    """
+    import os
+
+    from repro.core import kernel_compiled
+
+    mesh = Mesh(cells=cells)
+    dt = 0.01
+    entry = dict(
+        name=f"kernel_parallel_n{n}",
+        kind="kernel_backend_parallel",
+        env=_entry_env(),
+        params=dict(n_particles=n, steps=steps, cells=cells),
+    )
+    if not kernel_compiled.HAVE_NUMBA:
+        entry.update(
+            baseline_s=0.0,
+            optimized_s=0.0,
+            speedup=1.0,
+            pushes_per_sec=0.0,
+            gate_min_speedup=None,
+            gate_skipped=(
+                "numba not installed; the compiled-parallel gate "
+                f"(>={gate}x over scalar compiled) only runs with the "
+                "repro[compiled] extra"
+            ),
+        )
+        return entry
+
+    kernel_compiled.warmup("compiled")
+    jit_s = kernel_compiled.warmup("compiled-parallel")
+    p = _make_particles(n, mesh)
+    kernel_compiled.advance_arrays_compiled(mesh, p.x, p.y, p.vx, p.vy, p.q, dt)
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        kernel_compiled.advance_arrays_compiled(
+            mesh, p.x, p.y, p.vx, p.vy, p.q, dt
+        )
+    compiled_s = (time.perf_counter() - t0) / steps
+
+    q = _make_particles(n, mesh)
+    kernel_compiled.advance_arrays_parallel(mesh, q.x, q.y, q.vx, q.vy, q.q, dt)
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        kernel_compiled.advance_arrays_parallel(
+            mesh, q.x, q.y, q.vx, q.vy, q.q, dt
+        )
+    parallel_s = (time.perf_counter() - t0) / steps
+    match = all(
+        getattr(p, f).tobytes() == getattr(q, f).tobytes()
+        for f in ("x", "y", "vx", "vy")
+    )
+    cpu = os.cpu_count() or 1
+    entry.update(
+        baseline_s=compiled_s,
+        optimized_s=parallel_s,
+        speedup=compiled_s / parallel_s,
+        pushes_per_sec=n / parallel_s,
+        jit_warmup_s=jit_s,
+        bitwise_match=bool(match),
+        gate_min_speedup=gate if cpu >= 4 else None,
+    )
+    if cpu < 4:
+        entry["gate_skipped"] = (
+            f"host has {cpu} cpu(s); the {gate}x compiled-parallel gate "
+            "is only meaningful with >= 4 cores"
         )
     return entry
 
@@ -441,6 +634,12 @@ def run_suite(preset: str = "full", progress: Callable[[str], None] = print) -> 
             # Compiled kernel backend; carries its own conditional gate
             # (>=3x over the python fused kernel where numba is present).
             (lambda: bench_kernel_backend(4_194_304, steps=4), None),
+            # prange kernel vs scalar compiled; conditional gate
+            # (>=2.5x where numba is present and the host has >=4 cores).
+            (lambda: bench_kernel_backend_parallel(4_194_304, steps=4), None),
+            # Ring vs pipe steady-state dispatch cost; unconditional >=5x
+            # gate (parent-side cost, meaningful on any host).
+            (lambda: bench_dispatch(24_000, steps=50, cores=32), None),
         ]
     elif preset == "smoke":
         plan = [
@@ -457,6 +656,10 @@ def run_suite(preset: str = "full", progress: Callable[[str], None] = print) -> 
             # sizes are floored by dispatch overhead and would not witness
             # the multicore claim.
             (lambda: bench_worker_sweep(4_194_304, steps=4), None),
+            (lambda: bench_kernel_backend_parallel(4_194_304, steps=4), None),
+            # Dispatch cost is size-independent; the smoke config is the
+            # acceptance config.
+            (lambda: bench_dispatch(24_000, steps=50, cores=32), None),
         ]
     else:
         raise ValueError(f"unknown preset: {preset!r}")

@@ -103,6 +103,119 @@ def format_metrics(metrics, title: str = "run metrics") -> str:
     return f"== {title} ==\n{body}"
 
 
+def dispatch_breakdown(spans) -> dict:
+    """Per-batch dispatch/kernel/exchange seconds from executor spans.
+
+    ``spans`` is an iterable of :class:`repro.instrument.ExecSpan` (e.g.
+    ``ExecutorTrace.spans``).  Per batch:
+
+    * ``dispatch_s`` — parent-side wall time to publish the batch (plan
+      lookup, ring records, doorbells — or descriptor pickling on the
+      pipe path);
+    * ``dispatch_cpu_s`` — the same window in parent CPU seconds (the
+      span's ``cpu_s`` arg, falling back to wall).  On an oversubscribed
+      host the doorbell/descriptor send can wake a worker that preempts
+      the parent, and the worker's kernel time then lands in the *wall*
+      dispatch window even though the execute spans already report it —
+      CPU seconds are immune to that double-count, so they are what the
+      ring-vs-pipe gate compares;
+    * ``kernel_s`` — summed worker ``execute`` seconds (worker-seconds,
+      not wall: workers run concurrently);
+    * ``merge_s`` — the parent's completion barrier;
+    * ``exchange_s`` — the gap between the previous batch's merge end and
+      this batch's dispatch start, which in a simulation loop is the
+      parent-side exchange/routing work between steps.  The overlapped
+      resume policy shrinks exactly this column.
+
+    The totals carry per-task dispatch cost (wall and CPU) both over all
+    batches and over the steady state (batch 2 onward, once the dispatch
+    plan is cached) — ``steady_dispatch_cpu_s_per_task`` is the figure
+    the >=5x ring-vs-pipe gate is checked on.
+    """
+    by_batch: dict[int, dict] = {}
+    for s in spans:
+        b = by_batch.setdefault(
+            s.batch,
+            dict(dispatch_s=0.0, dispatch_cpu_s=0.0, kernel_s=0.0,
+                 merge_s=0.0, tasks=0, _t0=None, _t1=None),
+        )
+        if s.phase == "dispatch":
+            args = s.args_dict()
+            b["dispatch_s"] += s.duration
+            b["dispatch_cpu_s"] += float(args.get("cpu_s", s.duration))
+            b["tasks"] = max(b["tasks"], int(args.get("tasks", 0)))
+            b["_t0"] = s.t_start if b["_t0"] is None else min(b["_t0"], s.t_start)
+        elif s.phase == "execute":
+            b["kernel_s"] += s.duration
+        elif s.phase == "merge":
+            b["merge_s"] += s.duration
+            b["_t1"] = s.t_end if b["_t1"] is None else max(b["_t1"], s.t_end)
+    rows = []
+    prev_end = None
+    for k in sorted(by_batch):
+        b = by_batch[k]
+        gap = 0.0
+        if prev_end is not None and b["_t0"] is not None:
+            gap = max(0.0, b["_t0"] - prev_end)
+        rows.append(
+            dict(
+                batch=k, tasks=b["tasks"], dispatch_s=b["dispatch_s"],
+                dispatch_cpu_s=b["dispatch_cpu_s"], kernel_s=b["kernel_s"],
+                merge_s=b["merge_s"], exchange_s=gap,
+            )
+        )
+        if b["_t1"] is not None:
+            prev_end = b["_t1"]
+    steady = [r for r in rows if r["batch"] > 1]
+    totals = dict(
+        batches=len(rows),
+        tasks=sum(r["tasks"] for r in rows),
+        dispatch_s=sum(r["dispatch_s"] for r in rows),
+        dispatch_cpu_s=sum(r["dispatch_cpu_s"] for r in rows),
+        kernel_s=sum(r["kernel_s"] for r in rows),
+        merge_s=sum(r["merge_s"] for r in rows),
+        exchange_s=sum(r["exchange_s"] for r in rows),
+    )
+    tasks = totals["tasks"]
+    st_tasks = sum(r["tasks"] for r in steady)
+    for col in ("dispatch_s", "dispatch_cpu_s"):
+        totals[f"{col}_per_task"] = totals[col] / tasks if tasks else 0.0
+        totals[f"steady_{col}_per_task"] = (
+            sum(r[col] for r in steady) / st_tasks if st_tasks else 0.0
+        )
+    return dict(rows=rows, totals=totals)
+
+
+def format_dispatch_breakdown(breakdown: dict, max_rows: int = 12) -> str:
+    """Fixed-width per-batch table of a :func:`dispatch_breakdown` result."""
+    rows = breakdown["rows"]
+    t = breakdown["totals"]
+    lines = [
+        "batch  tasks  dispatch_ms   cpu_ms  kernel_ms  merge_ms  exchange_ms"
+    ]
+    shown = rows if len(rows) <= max_rows else rows[:max_rows]
+    for r in shown:
+        lines.append(
+            f"{r['batch']:>5}  {r['tasks']:>5}  "
+            f"{r['dispatch_s'] * 1e3:>11.3f}  {r['dispatch_cpu_s'] * 1e3:>7.3f}  "
+            f"{r['kernel_s'] * 1e3:>9.3f}  "
+            f"{r['merge_s'] * 1e3:>8.3f}  {r['exchange_s'] * 1e3:>11.3f}"
+        )
+    if len(rows) > max_rows:
+        lines.append(f"  ... {len(rows) - max_rows} more batches")
+    lines.append(
+        f"total  {t['tasks']:>5}  "
+        f"{t['dispatch_s'] * 1e3:>11.3f}  {t['dispatch_cpu_s'] * 1e3:>7.3f}  "
+        f"{t['kernel_s'] * 1e3:>9.3f}  "
+        f"{t['merge_s'] * 1e3:>8.3f}  {t['exchange_s'] * 1e3:>11.3f}"
+    )
+    lines.append(
+        f"dispatch cpu per task: {t['dispatch_cpu_s_per_task'] * 1e6:.2f} us "
+        f"(steady state: {t['steady_dispatch_cpu_s_per_task'] * 1e6:.2f} us)"
+    )
+    return "\n".join(lines)
+
+
 def speedup_table(
     records: Sequence[RunRecord], serial_time: float
 ) -> str:

@@ -131,12 +131,22 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument(
         "--kernel-backend",
-        choices=["python", "compiled", "auto"],
+        choices=["python", "compiled", "compiled-parallel", "auto"],
         default=None,
         help="particle-push kernel: python (numpy), compiled (numba, "
-        "requires the repro[compiled] extra) or auto (compiled when "
-        "available; results are bitwise identical either way; precedence: "
-        "this flag > REPRO_KERNEL_BACKEND > --spec file > auto)",
+        "requires the repro[compiled] extra), compiled-parallel (numba "
+        "prange over fixed chunks, same extra) or auto (compiled when "
+        "available; results are bitwise identical in every case; "
+        "precedence: this flag > REPRO_KERNEL_BACKEND > --spec file > auto)",
+    )
+    p.add_argument(
+        "--dispatch",
+        choices=["ring", "pipe"],
+        default=None,
+        help="process-pool task dispatch path: ring (zero-copy shared-"
+        "memory task rings, the default) or pipe (legacy pickled "
+        "descriptors, kept for A/B measurement; precedence: this flag > "
+        "REPRO_DISPATCH > --spec file > ring)",
     )
 
 
@@ -315,18 +325,33 @@ def _print_resolved(args: argparse.Namespace, rs: RunSpec) -> int:
     """--dry-run: the fully-resolved spec (driver defaults filled in)."""
     from repro.config.build import canonical_runspec
     from repro.config.env import (
+        resolve_dispatch,
         resolve_executor,
         resolve_kernel_backend,
+        resolve_ring_slots,
         resolve_workers,
     )
+    from repro.core.kernel_compiled import resolve_backend
 
+    # The precedence chain yields the *request* (possibly "auto"); what a
+    # run would actually execute is the concrete backend, so map through
+    # resolve_backend — the same call build_executor makes — before
+    # printing.  An unsatisfiable request (compiled without numba) fails
+    # here exactly as the real run would.
+    effective_backend = resolve_backend(
+        resolve_kernel_backend(
+            _cli_value(args, "kernel_backend"), rs.executor.kernel_backend
+        )
+    )
     resolved = canonical_runspec(rs).with_overrides(
         executor=ExecutorConfig(
             kind=resolve_executor(_cli_value(args, "executor"), rs.executor.kind),
             workers=resolve_workers(_cli_value(args, "workers"), rs.executor.workers),
-            kernel_backend=resolve_kernel_backend(
-                _cli_value(args, "kernel_backend"), rs.executor.kernel_backend
+            kernel_backend=effective_backend,
+            dispatch=resolve_dispatch(
+                _cli_value(args, "dispatch"), rs.executor.dispatch
             ),
+            ring_slots=resolve_ring_slots(None, rs.executor.ring_slots),
         )
     )
     print(resolved.to_json())
@@ -380,6 +405,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         rs, cli_kind=_cli_value(args, "executor"),
         cli_workers=_cli_value(args, "workers"),
         cli_kernel_backend=_cli_value(args, "kernel_backend"),
+        cli_dispatch=_cli_value(args, "dispatch"),
     )
     impl = build_impl(rs, executor=executor)
     resilience = impl.resilience
@@ -428,6 +454,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         rs, cli_kind=_cli_value(args, "executor"),
         cli_workers=_cli_value(args, "workers"),
         cli_kernel_backend=_cli_value(args, "kernel_backend"),
+        cli_dispatch=_cli_value(args, "dispatch"),
         exec_tracer=exec_spans,
     )
     impl = build_impl(
@@ -563,6 +590,7 @@ def _impl_from_runspec(snapshot, args: argparse.Namespace):
         rs, cli_kind=_cli_value(args, "executor"),
         cli_workers=_cli_value(args, "workers"),
         cli_kernel_backend=_cli_value(args, "kernel_backend"),
+        cli_dispatch=_cli_value(args, "dispatch"),
     )
     impl = build_impl(rs, executor=executor, resume=snapshot)
     return impl, executor, impl.resilience
@@ -764,10 +792,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (precedence: this flag > REPRO_WORKERS > 0)",
     )
     p.add_argument(
-        "--kernel-backend", choices=["python", "compiled", "auto"],
+        "--kernel-backend",
+        choices=["python", "compiled", "compiled-parallel", "auto"],
         default=None,
-        help="particle-push kernel (bitwise identical either way, so a "
-        "checkpoint written under one backend resumes under the other; "
+        help="particle-push kernel (bitwise identical in every case, so a "
+        "checkpoint written under one backend resumes under any other; "
         "precedence: this flag > REPRO_KERNEL_BACKEND > auto)",
     )
     p.add_argument(

@@ -17,8 +17,10 @@ from __future__ import annotations
 from typing import Any
 
 from repro.config.env import (
+    resolve_dispatch,
     resolve_executor,
     resolve_kernel_backend,
+    resolve_ring_slots,
     resolve_workers,
 )
 from repro.config.runspec import ConfigError, RunSpec
@@ -95,11 +97,13 @@ def build_resilience(rs: RunSpec, n_ranks: int, *, resume=None):
 
 
 def build_executor(rs: RunSpec, *, cli_kind=None, cli_workers=None,
-                   cli_kernel_backend=None, exec_tracer=None, environ=None):
+                   cli_kernel_backend=None, cli_dispatch=None,
+                   exec_tracer=None, environ=None):
     """The compute backend, resolved CLI > env > spec > default.
 
     The caller owns the returned instance and must ``close()`` it.
-    Requesting ``kernel_backend=compiled`` without numba raises
+    Requesting ``kernel_backend=compiled`` (or ``compiled-parallel``)
+    without numba raises
     :class:`repro.core.kernel_compiled.CompiledKernelUnavailable` here,
     at build time, rather than mid-run.
     """
@@ -110,9 +114,12 @@ def build_executor(rs: RunSpec, *, cli_kind=None, cli_workers=None,
     kernel_backend = resolve_kernel_backend(
         cli_kernel_backend, rs.executor.kernel_backend, environ=environ
     )
+    dispatch = resolve_dispatch(cli_dispatch, rs.executor.dispatch, environ=environ)
+    ring_slots = resolve_ring_slots(None, rs.executor.ring_slots, environ=environ)
     return make_executor(
         kind, workers=workers, exec_tracer=exec_tracer,
         kernel_backend=kernel_backend,
+        dispatch=dispatch, ring_slots=ring_slots,
     )
 
 

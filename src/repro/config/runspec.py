@@ -380,7 +380,10 @@ class ExecutorConfig:
 
     kind: str | None = None  # serial | batched | process | None = inherit
     workers: int | None = None
-    kernel_backend: str | None = None  # python | compiled | auto | None = inherit
+    # python | compiled | compiled-parallel | auto | None = inherit
+    kernel_backend: str | None = None
+    dispatch: str | None = None  # ring | pipe | None = inherit
+    ring_slots: int | None = None  # per-worker task-ring capacity
 
     def __post_init__(self) -> None:
         if self.kind is not None and self.kind not in (
@@ -396,28 +399,45 @@ class ExecutorConfig:
         if self.kernel_backend is not None and self.kernel_backend not in (
             "python",
             "compiled",
+            "compiled-parallel",
             "auto",
         ):
             raise ConfigError(
-                "executor.kernel_backend must be python/compiled/auto, "
+                "executor.kernel_backend must be "
+                "python/compiled/compiled-parallel/auto, "
                 f"got {self.kernel_backend!r}"
             )
+        if self.dispatch is not None and self.dispatch not in ("ring", "pipe"):
+            raise ConfigError(
+                f"executor.dispatch must be ring/pipe, got {self.dispatch!r}"
+            )
+        if self.ring_slots is not None and self.ring_slots < 1:
+            raise ConfigError("executor.ring_slots must be >= 1")
 
     def to_dict(self) -> dict:
         return {
             "kind": self.kind,
             "workers": self.workers,
             "kernel_backend": self.kernel_backend,
+            "dispatch": self.dispatch,
+            "ring_slots": self.ring_slots,
         }
 
     @classmethod
     def from_dict(cls, doc: Mapping, where: str = "executor") -> "ExecutorConfig":
-        _check_keys(doc, ("kind", "workers", "kernel_backend"), where)
+        _check_keys(
+            doc,
+            ("kind", "workers", "kernel_backend", "dispatch", "ring_slots"),
+            where,
+        )
         workers = doc.get("workers")
+        ring_slots = doc.get("ring_slots")
         return cls(
             kind=doc.get("kind"),
             workers=None if workers is None else int(workers),
             kernel_backend=doc.get("kernel_backend"),
+            dispatch=doc.get("dispatch"),
+            ring_slots=None if ring_slots is None else int(ring_slots),
         )
 
 

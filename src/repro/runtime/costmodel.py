@@ -147,6 +147,33 @@ class CostModel:
         return stages * costs.latency + factor * nbytes / costs.bandwidth
 
 
+#: Nominal push rates (particles/sec) per kernel backend.  Order-of-
+#: magnitude priors, not measurements: python is the numpy fused kernel on
+#: one core, compiled the scalar numba kernel (the >=3x wallclock gate,
+#: with headroom), compiled-parallel the prange kernel on a ~4-core host
+#: (the >=2.5x-over-compiled gate).  They exist so a heterogeneous fleet
+#: can seed a :class:`WorkRateMeter` *before* the first measured batch —
+#: giving the straggler watch and the load balancers a sane relative-speed
+#: prior — and are overwritten by real measurements as soon as the
+#: executor records them (EWMA, alpha=0.5).
+NOMINAL_BACKEND_RATES = {
+    "python": 2.0e7,
+    "compiled": 1.0e8,
+    "compiled-parallel": 2.5e8,
+}
+
+
+def nominal_backend_rate(backend: str) -> float:
+    """The nominal pushes/sec prior for a concrete kernel backend name."""
+    try:
+        return NOMINAL_BACKEND_RATES[backend]
+    except KeyError:
+        raise ValueError(
+            f"no nominal rate for kernel backend {backend!r}; "
+            f"known: {', '.join(sorted(NOMINAL_BACKEND_RATES))}"
+        ) from None
+
+
 class WorkRateMeter:
     """Measured per-rank work rates (pushes/sec), EWMA-smoothed.
 
@@ -197,6 +224,17 @@ class WorkRateMeter:
             if rate <= 0.0:
                 raise ValueError(f"rate for key {key} must be positive")
             self._rates[int(key)] = float(rate)
+
+    def seed_backends(self, backends: dict) -> None:
+        """Seed nominal rates from a rank -> kernel-backend-name mapping.
+
+        Gives a mixed-backend fleet a relative-speed prior (see
+        :data:`NOMINAL_BACKEND_RATES`) before the first measured batch;
+        real executor measurements then take over sample by sample.
+        """
+        self.seed(
+            {rank: nominal_backend_rate(b) for rank, b in backends.items()}
+        )
 
     def rate(self, key: int) -> float | None:
         """Smoothed pushes/sec for ``key``, or None if never measured."""

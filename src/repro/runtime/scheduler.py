@@ -245,9 +245,9 @@ class Scheduler:
             self._states.append(_RankState(gen))
 
         ready = deque(range(self.n_ranks))
-        finished = 0
+        self._finished = 0
         states = self._states
-        while finished < self.n_ranks:
+        while self._finished < self.n_ranks:
             if not ready:
                 if self._pending_exec:
                     # Every runnable rank is parked on a dispatched compute
@@ -255,26 +255,7 @@ class Scheduler:
                     self._flush_compute(ready)
                     continue
                 self._raise_deadlock()
-            r = ready.popleft()
-            state = states[r]
-            if state.status != _RUNNABLE:  # pragma: no cover - defensive
-                continue
-            gen = state.gen
-            if gen is None or not hasattr(gen, "send"):
-                # Program body had no yield: the call already returned a value.
-                state.retval = gen
-                state.status = _DONE
-                finished += 1
-                continue
-            try:
-                value, state.resume_value = state.resume_value, None
-                op = gen.send(value)
-            except StopIteration as stop:
-                state.retval = stop.value
-                state.status = _DONE
-                finished += 1
-                continue
-            self._dispatch(r, op, ready)
+            self._advance_one(ready)
 
         times = list(self.clock)
         return SpmdResult(
@@ -285,6 +266,29 @@ class Scheduler:
             bytes_sent=self.transport.bytes_sent,
             collectives=self.collectives_completed,
         )
+
+    def _advance_one(self, ready: deque) -> None:
+        """Pop one ready rank and drive it to its next yield point."""
+        r = ready.popleft()
+        state = self._states[r]
+        if state.status != _RUNNABLE:  # pragma: no cover - defensive
+            return
+        gen = state.gen
+        if gen is None or not hasattr(gen, "send"):
+            # Program body had no yield: the call already returned a value.
+            state.retval = gen
+            state.status = _DONE
+            self._finished += 1
+            return
+        try:
+            value, state.resume_value = state.resume_value, None
+            op = gen.send(value)
+        except StopIteration as stop:
+            state.retval = stop.value
+            state.status = _DONE
+            self._finished += 1
+            return
+        self._dispatch(r, op, ready)
 
     # ------------------------------------------------------------------
     # Clock helpers
@@ -320,18 +324,35 @@ class Scheduler:
         return self._executor
 
     def _flush_compute(self, ready: deque) -> None:
-        """Run all parked compute tasks and re-ready their ranks.
+        """Run all parked compute tasks, overlapping exchange with compute.
 
-        The batch is handed to the executor in park order, and ranks resume
-        in that same order — both deterministic, so every backend yields the
-        identical scheduler interleaving.
+        The batch is handed to the executor in park order via
+        ``start_batch``, and ranks are woken strictly one at a time in
+        that same park order as their tasks complete; after each wake the
+        current ready set gets one round-robin sweep (each ready rank
+        advances one op).  The sweep is the overlap: a woken rank packs
+        and routes its ownership-exchange messages (pure parent-side
+        work) while later tasks of the same batch are still running on
+        the workers.  One sweep per wake — rather than draining to
+        quiescence — keeps the op interleaving close to the scheduler's
+        round-robin concurrency model, which the simulated shared-core
+        occupation order is sensitive to.  The policy is uniform across
+        executors: eager backends return an already-completed handle
+        whose ``wait`` is a no-op, so the interleaving is identical
+        whether or not anything actually overlapped, and simulated clocks
+        were already charged at dispatch — wall-clock completion order
+        can never leak into simulated time.
         """
         batch, self._pending_exec = self._pending_exec, []
-        self._get_executor().run_batch(batch)
+        handle = self._get_executor().start_batch(batch)
         states = self._states
-        for r, _task in batch:
+        for i, (r, _task) in enumerate(batch):
+            handle.wait(i)
             states[r].status = _RUNNABLE
             ready.append(r)
+            for _ in range(len(ready)):
+                self._advance_one(ready)
+        handle.finish()
 
     # ------------------------------------------------------------------
     # Op dispatch

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.bench.reporting import ascii_loglog, format_series, format_table, speedup_table
+from repro.bench.reporting import (
+    ascii_loglog,
+    dispatch_breakdown,
+    format_dispatch_breakdown,
+    format_series,
+    format_table,
+    speedup_table,
+)
+from repro.instrument import ExecutorTrace
 from repro.bench.runner import (
     IMPLEMENTATIONS,
     RunRecord,
@@ -145,3 +153,62 @@ class TestSweep:
         assert len(records) == 1
         assert records[0].params["case"] == "a"
         assert msgs and "cores=4" in msgs[0]
+
+
+class TestDispatchBreakdown:
+    """dispatch_breakdown / format_dispatch_breakdown over ExecSpans."""
+
+    def _trace(self):
+        tr = ExecutorTrace()
+        # Batch 1: dispatch 10ms wall / 2ms cpu, 4 tasks, 30ms kernel.
+        tr.record("dispatch", -1, 1, 0.00, 0.01, tasks=4, cpu_s=0.002)
+        tr.record("execute", 0, 1, 0.01, 0.04, tasks=4)
+        tr.record("merge", -1, 1, 0.01, 0.05, tasks=1)
+        # Batch 2 (steady): dispatch 4ms wall / 1ms cpu after a 5ms gap.
+        tr.record("dispatch", -1, 2, 0.10, 0.104, tasks=4, cpu_s=0.001)
+        tr.record("execute", 0, 2, 0.104, 0.14, tasks=4)
+        tr.record("merge", -1, 2, 0.104, 0.15, tasks=1)
+        return tr
+
+    def test_per_batch_rows(self):
+        b = dispatch_breakdown(self._trace().spans)
+        assert [r["batch"] for r in b["rows"]] == [1, 2]
+        r1, r2 = b["rows"]
+        assert r1["dispatch_s"] == pytest.approx(0.01)
+        assert r1["dispatch_cpu_s"] == pytest.approx(0.002)
+        assert r1["kernel_s"] == pytest.approx(0.03)
+        assert r1["exchange_s"] == 0.0  # no previous batch
+        # Gap between batch 1's merge end (0.05) and batch 2's dispatch
+        # start (0.10) is the exchange window.
+        assert r2["exchange_s"] == pytest.approx(0.05)
+
+    def test_totals_and_steady_state_cpu_per_task(self):
+        t = dispatch_breakdown(self._trace().spans)["totals"]
+        assert t["batches"] == 2 and t["tasks"] == 8
+        assert t["dispatch_cpu_s"] == pytest.approx(0.003)
+        assert t["dispatch_cpu_s_per_task"] == pytest.approx(0.003 / 8)
+        # Steady state excludes batch 1 (where the plan is resolved).
+        assert t["steady_dispatch_cpu_s_per_task"] == pytest.approx(0.001 / 4)
+        assert t["steady_dispatch_s_per_task"] == pytest.approx(0.004 / 4)
+
+    def test_cpu_falls_back_to_wall_without_cpu_arg(self):
+        tr = ExecutorTrace()
+        tr.record("dispatch", -1, 1, 0.0, 0.01, tasks=2)
+        t = dispatch_breakdown(tr.spans)["totals"]
+        assert t["dispatch_cpu_s"] == pytest.approx(0.01)
+
+    def test_format_renders_cpu_column_and_footer(self):
+        out = format_dispatch_breakdown(dispatch_breakdown(self._trace().spans))
+        lines = out.splitlines()
+        assert "cpu_ms" in lines[0]
+        assert "dispatch cpu per task:" in lines[-1]
+        assert "steady state:" in lines[-1]
+        # 1ms cpu over 4 steady tasks = 250 us/task in the footer.
+        assert "250.00 us" in lines[-1]
+
+    def test_format_truncates_long_runs(self):
+        tr = ExecutorTrace()
+        for b in range(1, 20):
+            tr.record("dispatch", -1, b, b * 1.0, b * 1.0 + 0.001, tasks=1)
+        out = format_dispatch_breakdown(dispatch_breakdown(tr.spans), max_rows=5)
+        assert "... 14 more batches" in out

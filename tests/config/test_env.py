@@ -1,14 +1,19 @@
-"""Tests for REPRO_EXECUTOR / REPRO_WORKERS / REPRO_KERNEL_BACKEND parsing."""
+"""Tests for REPRO_EXECUTOR / REPRO_WORKERS / REPRO_KERNEL_BACKEND /
+REPRO_DISPATCH / REPRO_RING_SLOTS parsing."""
 
 import pytest
 
 from repro.config.env import (
     EnvConfigError,
+    env_dispatch,
     env_executor,
     env_kernel_backend,
+    env_ring_slots,
     env_workers,
+    resolve_dispatch,
     resolve_executor,
     resolve_kernel_backend,
+    resolve_ring_slots,
     resolve_workers,
 )
 
@@ -77,7 +82,7 @@ class TestKernelBackendChain:
     def test_env_parsing(self):
         assert env_kernel_backend({}) is None
         assert env_kernel_backend({"REPRO_KERNEL_BACKEND": "  "}) is None
-        for name in ("python", "compiled", "auto"):
+        for name in ("python", "compiled", "compiled-parallel", "auto"):
             assert env_kernel_backend({"REPRO_KERNEL_BACKEND": name}) == name
         with pytest.raises(EnvConfigError, match="fortran"):
             env_kernel_backend({"REPRO_KERNEL_BACKEND": "fortran"})
@@ -105,6 +110,48 @@ class TestKernelBackendChain:
         to a concrete backend is kernel_compiled.resolve_backend's job, so
         the numba probe happens exactly once, at executor construction."""
         assert resolve_kernel_backend(None, None, environ={}) == "auto"
+
+
+class TestDispatchChain:
+    """REPRO_DISPATCH / REPRO_RING_SLOTS: validators + the same chain."""
+
+    def test_env_dispatch_parsing(self):
+        assert env_dispatch({}) is None
+        assert env_dispatch({"REPRO_DISPATCH": "  "}) is None
+        for kind in ("ring", "pipe"):
+            assert env_dispatch({"REPRO_DISPATCH": kind}) == kind
+        with pytest.raises(EnvConfigError, match="carrier-pigeon"):
+            env_dispatch({"REPRO_DISPATCH": "carrier-pigeon"})
+
+    def test_env_ring_slots_parsing(self):
+        assert env_ring_slots({}) is None
+        assert env_ring_slots({"REPRO_RING_SLOTS": ""}) is None
+        assert env_ring_slots({"REPRO_RING_SLOTS": "128"}) == 128
+        with pytest.raises(EnvConfigError, match="integer"):
+            env_ring_slots({"REPRO_RING_SLOTS": "lots"})
+        with pytest.raises(EnvConfigError, match=">= 1"):
+            env_ring_slots({"REPRO_RING_SLOTS": "0"})
+
+    def test_precedence_chain(self):
+        env = {"REPRO_DISPATCH": "pipe", "REPRO_RING_SLOTS": "32"}
+        assert resolve_dispatch("ring", "pipe", environ=env) == "ring"
+        assert resolve_dispatch(None, "ring", environ=env) == "pipe"
+        assert resolve_dispatch(None, "pipe", environ={}) == "pipe"
+        assert resolve_dispatch(environ={}) == "ring"  # default is the rings
+        assert resolve_ring_slots(16, 8, environ=env) == 16
+        assert resolve_ring_slots(None, 8, environ=env) == 32
+        assert resolve_ring_slots(None, 8, environ={}) == 8
+        assert resolve_ring_slots(environ={}) == 64
+
+    def test_executor_construction_honours_env(self, monkeypatch):
+        from repro.runtime.executor import ProcessExecutor
+
+        monkeypatch.setenv("REPRO_DISPATCH", "pipe")
+        monkeypatch.setenv("REPRO_RING_SLOTS", "7")
+        ex = ProcessExecutor(workers=1)
+        assert ex.dispatch == "pipe"
+        assert ex.ring_slots == 7
+        ex.close()
 
 
 class TestDefaultExecutorUsesChain:

@@ -2,14 +2,15 @@
 
 Built on :mod:`tests.core.backend_conformance`.  Four layers of claims:
 
-1. **Kernel level** — the compiled ``advance_arrays`` is bit-for-bit equal
+1. **Kernel level** — the compiled ``advance_arrays`` and its
+   thread-parallel ``compiled-parallel`` variant are bit-for-bit equal
    to the python fused path *and* the textbook ``advance_reference``,
    across mesh spacings, velocity regimes, block seams and pooled
    (capacity-managed view) buffers.
 2. **Full-run matrix** — every implementation (mpi-2d, mpi-2d-LB, ampi)
    under every executor (serial, batched, process) under every backend
-   produces identical positions, checksums, simulated clocks, golden
-   traces and checkpoint files.
+   (python, compiled, compiled-parallel) produces identical positions,
+   checksums, simulated clocks, golden traces and checkpoint files.
 3. **Graceful degradation** — without numba, ``compiled`` fails loudly
    naming the ``repro[compiled]`` extra, ``auto`` falls back to python
    with exactly one logged notice, and the whole suite still passes
@@ -133,7 +134,9 @@ def test_vertical_force_cancellation_compiled():
 # ----------------------------------------------------------------------
 # 2. Full-run matrix
 # ----------------------------------------------------------------------
-_AVAILABLE = ["python"] + (["compiled"] if HAVE_NUMBA else [])
+_AVAILABLE = ["python"] + (
+    ["compiled", "compiled-parallel"] if HAVE_NUMBA else []
+)
 
 _MATRIX = [
     pytest.param(
@@ -143,7 +146,7 @@ _MATRIX = [
     )
     for impl_name, _cls, _params in IMPLS
     for ex, workers in EXECUTORS
-    for backend in ("python", "compiled")
+    for backend in ("python", "compiled", "compiled-parallel")
 ]
 #: Cells compared against their impl's serial/python reference cell.
 _OTHER = [
@@ -207,10 +210,11 @@ class TestWithoutNumba:
         monkeypatch.setattr(kernel_compiled, "_FALLBACK_LOGGED", False)
 
     def test_explicit_compiled_raises_naming_the_extra(self):
-        with pytest.raises(CompiledKernelUnavailable) as exc:
-            resolve_backend("compiled")
-        assert COMPILED_EXTRA in str(exc.value)
-        assert "auto" in str(exc.value)  # points at the escape hatch
+        for backend in ("compiled", "compiled-parallel"):
+            with pytest.raises(CompiledKernelUnavailable) as exc:
+                resolve_backend(backend)
+            assert COMPILED_EXTRA in str(exc.value)
+            assert "auto" in str(exc.value)  # points at the escape hatch
 
     def test_executor_construction_fails_eagerly(self):
         """A compiled request dies at make_executor time, not mid-run."""
@@ -244,11 +248,15 @@ class TestWithNumba:
         monkeypatch.setattr(kernel_compiled, "HAVE_NUMBA", True)
 
     def test_auto_resolves_to_compiled(self):
+        """``auto`` never picks the parallel backend: its threads would
+        fight the process pool's workers for cores, so it stays an
+        explicit opt-in."""
         assert resolve_backend("auto") == "compiled"
         assert resolve_backend(None) == "compiled"
 
     def test_explicit_requests_resolve_verbatim(self):
         assert resolve_backend("compiled") == "compiled"
+        assert resolve_backend("compiled-parallel") == "compiled-parallel"
         assert resolve_backend("python") == "python"
 
 
@@ -283,7 +291,7 @@ def test_kernel_backend_excluded_from_spec_hash():
     checkpoints stay valid across backends."""
     hashes = {
         _runspec(kernel_backend=kb).spec_hash()
-        for kb in (None, "python", "compiled", "auto")
+        for kb in (None, "python", "compiled", "compiled-parallel", "auto")
     }
     assert len(hashes) == 1
     # ... while identity-relevant knobs do move the hash.

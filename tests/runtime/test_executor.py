@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -241,6 +243,161 @@ class TestBackends:
     def test_make_executor_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown executor"):
             make_executor("gpu")
+
+
+class TestRingDispatch:
+    """Zero-copy ring path: bitwise parity, plan cache, chunking, knobs."""
+
+    @pytest.mark.parametrize("dispatch", ["ring", "pipe"])
+    def test_both_paths_match_serial_oracle(self, dispatch):
+        mesh = Mesh(cells=8)
+        sizes = (40, 0, 333, 17)
+        batch = _push_batch(mesh, 0.01, sizes)
+        ex = ProcessExecutor(workers=2, dispatch=dispatch)
+        try:
+            ex.run_batch(batch)
+        finally:
+            ex.close()
+        for (_, task), oracle in zip(batch, _serial_oracle(mesh, 0.01, sizes)):
+            _assert_fields_equal(task.particles, oracle)
+
+    def test_plan_cache_hits_and_generation_invalidation(self):
+        mesh = Mesh(cells=8)
+        batch = _push_batch(mesh, 0.01, (50, 60, 70))
+        ex = ProcessExecutor(workers=2, dispatch="ring")
+        try:
+            for _ in range(3):
+                ex.run_batch(batch)
+            stats = ex.stats()
+            assert stats["plan_misses"] == 1  # cold plan only
+            assert stats["plan_hits"] == 2
+            # Growth past capacity bumps the container generation: the
+            # next batch must re-resolve that task's field locations
+            # (a partial-refresh miss), and the results stay exact.
+            p = batch[0][1].particles
+            gen0 = p.generation
+            p.reserve(len(p) * 10)
+            assert p.generation > gen0
+            ex.run_batch(batch)
+            assert ex.stats()["plan_misses"] == 2
+            ex.run_batch(batch)  # steady again
+            assert ex.stats()["plan_hits"] == 3
+        finally:
+            ex.close()
+        # 5 pushes of the same batch vs 5 serial pushes.
+        oracles = [
+            _particles(n, mesh, seed=10 + r) for r, n in enumerate((50, 60, 70))
+        ]
+        for p in oracles:
+            for _ in range(5):
+                advance(mesh, p, 0.01)
+        for (_, task), oracle in zip(batch, oracles):
+            _assert_fields_equal(task.particles, oracle)
+
+    def test_drift_triggers_repartition(self):
+        """A cached plan whose sizes went lopsided re-runs LPT (counted as
+        a miss) instead of dispatching against a stale partition."""
+        mesh = Mesh(cells=8)
+        batch = _push_batch(mesh, 0.01, (100, 100, 100, 100))
+        ex = ProcessExecutor(workers=2, dispatch="ring")
+        try:
+            ex.run_batch(batch)
+            ex.run_batch(batch)
+            assert ex.stats()["plan_hits"] == 1
+            # Shrink two tasks sharing a bin: loads go 200 vs 20.
+            bins = ex._plan_bins
+            w = max(range(len(bins)), key=lambda j: len(bins[j]))
+            for i in bins[w]:
+                p = batch[i][1].particles
+                keep = np.zeros(len(p), dtype=bool)
+                keep[:10] = True
+                p.compact(keep)
+            misses0 = ex.stats()["plan_misses"]
+            ex.run_batch(batch)
+            assert ex.stats()["plan_misses"] == misses0 + 1
+        finally:
+            ex.close()
+
+    def test_tiny_ring_publishes_in_chunks(self):
+        """A bin larger than the ring drains through follow-on chunks."""
+        mesh = Mesh(cells=8)
+        sizes = (30, 31, 32, 33, 34, 35, 36)
+        batch = _push_batch(mesh, 0.01, sizes)
+        ex = ProcessExecutor(workers=1, dispatch="ring", ring_slots=2)
+        try:
+            for _ in range(2):  # second pass exercises chunked re-publish
+                ex.run_batch(batch)
+        finally:
+            ex.close()
+        oracles = _serial_oracle(mesh, 0.01, sizes)
+        for p in oracles:
+            advance(mesh, p, 0.01)
+        for (_, task), oracle in zip(batch, oracles):
+            _assert_fields_equal(task.particles, oracle)
+
+    def test_stats_report_dispatch_knobs(self):
+        ex = ProcessExecutor(workers=1, dispatch="ring", ring_slots=16)
+        try:
+            stats = ex.stats()
+        finally:
+            ex.close()
+        assert stats["dispatch"] == "ring"
+        assert stats["ring_slots"] == 16
+        assert {"plan_epoch", "plan_hits", "plan_misses"} <= set(stats)
+
+    def test_invalid_dispatch_and_ring_slots_rejected(self):
+        with pytest.raises(ValueError, match="dispatch"):
+            ProcessExecutor(workers=1, dispatch="carrier-pigeon")
+        with pytest.raises(ValueError, match="ring_slots"):
+            ProcessExecutor(workers=1, dispatch="ring", ring_slots=0)
+
+    def test_ensure_ready_is_idempotent(self):
+        ex = ProcessExecutor(workers=1, dispatch="ring")
+        try:
+            ex.ensure_ready()
+            startup = ex.pool_startup_s
+            assert startup > 0.0
+            ex.ensure_ready()
+            assert ex.pool_startup_s == startup
+        finally:
+            ex.close()
+
+    def test_dispatch_spans_carry_cpu_seconds(self):
+        """Both paths attach parent CPU seconds to their dispatch spans —
+        the figure the ring-vs-pipe gate compares (wall time would
+        double-count worker kernel time on oversubscribed hosts)."""
+        mesh = Mesh(cells=8)
+        for dispatch in ("ring", "pipe"):
+            tr = ExecutorTrace()
+            ex = ProcessExecutor(workers=1, dispatch=dispatch, exec_tracer=tr)
+            try:
+                ex.run_batch(_push_batch(mesh, 0.01, (40, 50)))
+            finally:
+                ex.close()
+            spans = [s for s in tr.spans if s.phase == "dispatch"]
+            assert spans, dispatch
+            for s in spans:
+                assert s.args_dict()["cpu_s"] >= 0.0
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="needs >= 4 cores to see overlap"
+)
+def test_concurrent_prewarm_startup_is_flat():
+    """Worker boot overlaps: a 4-worker pool must not cost 4x a 1-worker
+    pool's startup (generous 2.5x bound for scheduler noise)."""
+    t_one = t_four = None
+    for workers in (1, 4):
+        ex = ProcessExecutor(workers=workers, dispatch="ring")
+        try:
+            ex.ensure_ready()
+            if workers == 1:
+                t_one = ex.pool_startup_s
+            else:
+                t_four = ex.pool_startup_s
+        finally:
+            ex.close()
+    assert t_four < 2.5 * t_one, (t_one, t_four)
 
 
 class TestSchedulerBatching:

@@ -326,6 +326,42 @@ class TestRunSpecCLI:
         assert doc["impl"]["axes"] == "x"
         assert doc["workload"]["cells"] == 32
 
+    def test_dry_run_prints_effective_kernel_backend(self, capsys):
+        """--dry-run shows what would actually execute: the ``auto``
+        request is mapped to the concrete backend (the same resolution
+        the real run performs), never echoed verbatim."""
+        from repro.core.kernel_compiled import resolve_backend
+
+        rc = main(["run", *self.ARGS, "--dry-run"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out[: out.rindex("spec hash:")])
+        assert doc["executor"]["kernel_backend"] == resolve_backend("auto")
+        assert doc["executor"]["kernel_backend"] != "auto"
+
+    def test_dry_run_explicit_backend_and_dispatch_pass_through(self, capsys):
+        rc = main([
+            "run", *self.ARGS, "--kernel-backend", "python",
+            "--dispatch", "pipe", "--dry-run",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out[: out.rindex("spec hash:")])
+        assert doc["executor"]["kernel_backend"] == "python"
+        assert doc["executor"]["dispatch"] == "pipe"
+        assert doc["executor"]["ring_slots"] >= 1  # default filled in
+
+    def test_dry_run_hash_excludes_backend_and_dispatch(self, capsys):
+        """Backend/dispatch can never change what a run computes, so the
+        printed identity hash must not move with them."""
+        hashes = set()
+        for extra in ((), ("--kernel-backend", "python", "--dispatch", "pipe")):
+            rc = main(["run", *self.ARGS, *extra, "--dry-run"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            hashes.add(out[out.rindex("spec hash:"):].split()[-1])
+        assert len(hashes) == 1
+
     def test_dry_run_hash_is_canonical(self, capsys):
         from repro.config import RunSpec
         from repro.config.build import canonical_hash
