@@ -47,10 +47,15 @@ def main(argv=None) -> int:
         "of running its gate (e.g. --require-live workers on a CI runner "
         "that is known to have >= 4 cores); repeatable",
     )
+    ap.add_argument(
+        "--only", metavar="KIND", default=None,
+        help="run only entries of this kind (e.g. --only campaign for the "
+        "CI campaign-throughput leg)",
+    )
     args = ap.parse_args(argv)
 
     print(f"wall-clock perf suite (preset={args.preset}):")
-    doc = perf.run_suite(args.preset)
+    doc = perf.run_suite(args.preset, only=args.only)
     perf.save_bench(doc, args.out)
     print(f"wrote {args.out}")
 

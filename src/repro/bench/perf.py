@@ -70,6 +70,16 @@ Three drivers:
     (:func:`repro.bench.reporting.dispatch_breakdown`).  Gated at >=5x
     unconditionally — dispatch cost is parent-side, so one core suffices.
 
+``campaign``
+    The work-stealing campaign fabric (:mod:`repro.campaign.fabric`)
+    against the PR-7 pool runner on the same uncached 16-point sweep of
+    process-executor points at ``--jobs 4``, gated at >=3x on hosts with
+    >= 4 cores (honest ``gate_skipped`` below that; CI's asserted-4-vCPU
+    leg runs it live with ``--require-live campaign``).  The entry also
+    audits byte-identical artifacts across runners (``bitwise_match``),
+    100% cache coherence on a second fabric run (``cache_coherent``) and
+    warmup accounting once per worker (``startup_once_per_worker``).
+
 Both sides of every end-to-end entry must produce *identical simulated
 time* and pass the PRK verification — recorded as ``sim_time_match`` — so a
 benchmark run is also a differential test of the optimisation.
@@ -613,59 +623,239 @@ def bench_kernel_backend_parallel(
     return entry
 
 
+def campaign_throughput_declaration(
+    points: int = 16, inner_workers: int = 2
+) -> dict:
+    """The uncached smoke sweep the campaign-throughput bench runs.
+
+    ``points`` small mpi-2d runs whose specs ask for the *process*
+    executor — so under the PR-7 pool runner every point re-pays
+    ``pool_startup_s`` (+ ``jit_warmup_s`` where numba is present) inside
+    its own ``execute_runspec`` call, which is exactly the per-point tax
+    the fabric's warm workers amortize.  The particle counts are
+    heterogeneous with the two largest points *last* in expansion order:
+    the pool baseline submits in expansion order and serializes its tail
+    behind them, while the fabric's longest-expected-first ordering
+    starts them first.
+    """
+    small = [200 + 20 * i for i in range(points - 2)]
+    heavy = [3000, 4000]
+    return {
+        "schema": 1,
+        "campaign": "campaign-throughput",
+        "base": {
+            "workload": {"cells": 32, "n_particles": 400, "steps": 4},
+            "impl": {"name": "mpi-2d", "cores": 2},
+            "executor": {"kind": "process", "workers": inner_workers},
+        },
+        "axes": [
+            {
+                "axis": "n",
+                "path": "workload.n_particles",
+                "values": small + heavy[: max(0, points - len(small))],
+            }
+        ],
+    }
+
+
+def bench_campaign_throughput(
+    *,
+    points: int = 16,
+    jobs: int = 4,
+    inner_workers: int = 2,
+    gate: float = 3.0,
+) -> dict:
+    """Work-stealing campaign fabric vs the PR-7 pool runner, same sweep.
+
+    Both sides run the identical uncached ``points``-point declaration at
+    ``--jobs`` ``jobs`` against fresh caches: the baseline is the kept-
+    verbatim ``ProcessPoolExecutor`` path (``runner="pool"``), the
+    optimized side the warm-worker fabric (``runner="fabric"``).  Beyond
+    the wall-clock ratio the entry is a correctness audit:
+
+    * ``bitwise_match`` — both runners' artifact directories must be
+      byte-identical (the fabric cannot change a result bit);
+    * ``cache_coherent`` — a second fabric run against the same cache
+      must complete 100% from cache (no re-execution);
+    * ``startup_once_per_worker`` — the fabric manifest must report
+      ``jit_warmup_s`` and each warm executor's ``pool_startup_s`` once
+      per *worker*, not once per point, and the workers' point counts
+      must sum to the sweep.
+
+    The ``gate``x floor only applies on hosts with at least ``jobs``
+    cores (the sweep cannot overlap otherwise); smaller hosts record an
+    honest ``gate_skipped``, and CI's asserted-4-vCPU leg turns that into
+    a failure via ``--require-live campaign``.
+    """
+    import hashlib
+    import os
+    import tempfile
+
+    from repro.campaign import CampaignSpec, run_campaign
+
+    camp = CampaignSpec.from_dict(
+        campaign_throughput_declaration(points, inner_workers)
+    )
+    expanded = camp.expand()
+    total_pushes = sum(
+        p.spec.workload.n_particles * p.spec.workload.steps for p in expanded
+    )
+
+    def _digests(cache_dir: str) -> dict:
+        out = {}
+        for name in sorted(os.listdir(cache_dir)):
+            if not name.endswith(".json") or name.endswith(".manifest.json"):
+                continue
+            with open(os.path.join(cache_dir, name), "rb") as fh:
+                out[name] = hashlib.sha256(fh.read()).hexdigest()
+        return out
+
+    with tempfile.TemporaryDirectory(prefix="bench-campaign-") as td:
+        pool_cache = os.path.join(td, "pool")
+        fabric_cache = os.path.join(td, "fabric")
+
+        t0 = time.perf_counter()
+        run_campaign(camp, cache_dir=pool_cache, jobs=jobs, runner="pool")
+        pool_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        fab = run_campaign(
+            camp, cache_dir=fabric_cache, jobs=jobs, runner="fabric"
+        )
+        fabric_s = time.perf_counter() - t0
+
+        bitwise = _digests(pool_cache) == _digests(fabric_cache)
+
+        second = run_campaign(
+            camp, cache_dir=fabric_cache, jobs=jobs, runner="fabric"
+        )
+        coherent = second.executed == 0 and second.cached == len(expanded)
+
+        workers = (fab.fabric or {}).get("workers", [])
+        startup_once = (
+            len(workers) == min(jobs, len(expanded))
+            and all(len(w["pool_startup_s"]) == 1 for w in workers)
+            and sum(w["points"] for w in workers) == len(expanded)
+        )
+        worker_rows = [
+            dict(
+                worker=w["worker"],
+                jit_warmup_s=w["jit_warmup_s"],
+                pool_startup_s=w["pool_startup_s"],
+                points=w["points"],
+                busy_s=w["busy_s"],
+            )
+            for w in workers
+        ]
+
+    cpu = os.cpu_count() or 1
+    entry = dict(
+        name=f"campaign_fabric_p{points}_j{jobs}",
+        kind="campaign",
+        env=_entry_env(),
+        params=dict(
+            points=points, jobs=jobs, inner_workers=inner_workers,
+            total_pushes=total_pushes,
+        ),
+        baseline_s=pool_s,
+        optimized_s=fabric_s,
+        speedup=pool_s / fabric_s,
+        pushes_per_sec=total_pushes / fabric_s,
+        bitwise_match=bool(bitwise),
+        cache_coherent=bool(coherent),
+        startup_once_per_worker=bool(startup_once),
+        rows=worker_rows,
+        gate_min_speedup=gate if cpu >= jobs else None,
+    )
+    if cpu < jobs:
+        entry["gate_skipped"] = (
+            f"host has {cpu} cpu(s); the {gate}x campaign-fabric gate at "
+            f"--jobs {jobs} is only meaningful with >= that many cores"
+        )
+    return entry
+
+
 # ----------------------------------------------------------------------
 # Suite presets
 # ----------------------------------------------------------------------
-def run_suite(preset: str = "full", progress: Callable[[str], None] = print) -> dict:
-    """Run one preset and return the BENCH_wallclock document (a dict)."""
+def run_suite(
+    preset: str = "full",
+    progress: Callable[[str], None] = print,
+    only: str | None = None,
+) -> dict:
+    """Run one preset and return the BENCH_wallclock document (a dict).
+
+    ``only`` filters the plan to entries of one kind (e.g. ``campaign``
+    for the CI campaign-throughput leg, which should not re-run the
+    perf-grade kernel populations).
+    """
     if preset == "full":
         plan = [
             # The acceptance gates: perf-grade populations where the
             # allocation churn this PR removes dominates.
-            (lambda: bench_kernel(4_194_304, steps=4), 3.0),
-            (lambda: bench_end_to_end(4_194_304, steps=4, cores=1), 2.5),
+            ("kernel", lambda: bench_kernel(4_194_304, steps=4), 3.0),
+            ("end_to_end",
+             lambda: bench_end_to_end(4_194_304, steps=4, cores=1), 2.5),
             # Supporting evidence, non-gating.
-            (lambda: bench_kernel(400_000, steps=8), None),
-            (lambda: bench_exchange(400_000, steps=16, cores=4), None),
-            (lambda: bench_end_to_end(24_000, steps=200, cores=4), None),
+            ("kernel", lambda: bench_kernel(400_000, steps=8), None),
+            ("exchange", lambda: bench_exchange(400_000, steps=16, cores=4), None),
+            ("end_to_end",
+             lambda: bench_end_to_end(24_000, steps=200, cores=4), None),
             # Real-multicore scaling of the process executor; carries its
             # own conditional gate (>=1.5x at 4 workers on >=4-core hosts).
-            (lambda: bench_worker_sweep(4_194_304, steps=4), None),
+            ("workers", lambda: bench_worker_sweep(4_194_304, steps=4), None),
             # Compiled kernel backend; carries its own conditional gate
             # (>=3x over the python fused kernel where numba is present).
-            (lambda: bench_kernel_backend(4_194_304, steps=4), None),
+            ("kernel_backend",
+             lambda: bench_kernel_backend(4_194_304, steps=4), None),
             # prange kernel vs scalar compiled; conditional gate
             # (>=2.5x where numba is present and the host has >=4 cores).
-            (lambda: bench_kernel_backend_parallel(4_194_304, steps=4), None),
+            ("kernel_backend_parallel",
+             lambda: bench_kernel_backend_parallel(4_194_304, steps=4), None),
             # Ring vs pipe steady-state dispatch cost; unconditional >=5x
             # gate (parent-side cost, meaningful on any host).
-            (lambda: bench_dispatch(24_000, steps=50, cores=32), None),
+            ("dispatch", lambda: bench_dispatch(24_000, steps=50, cores=32), None),
+            # Campaign fabric vs the pool runner; conditional >=3x gate
+            # (sweep overlap needs >= jobs cores).
+            ("campaign", lambda: bench_campaign_throughput(), None),
         ]
     elif preset == "smoke":
         plan = [
             # CI-sized: gated only relatively, vs the checked-in baseline.
-            (lambda: bench_kernel(400_000, steps=6), None),
+            ("kernel", lambda: bench_kernel(400_000, steps=6), None),
             # The compiled-backend gate keeps the perf-grade population in
             # smoke too: the >=3x claim is about the memory-bound regime,
             # and CI's compiled leg enforces it.
-            (lambda: bench_kernel_backend(4_194_304, steps=4), None),
-            (lambda: bench_exchange(48_000, steps=20, cores=4), None),
-            (lambda: bench_end_to_end(200_000, steps=4, cores=1), None),
+            ("kernel_backend",
+             lambda: bench_kernel_backend(4_194_304, steps=4), None),
+            ("exchange", lambda: bench_exchange(48_000, steps=20, cores=4), None),
+            ("end_to_end",
+             lambda: bench_end_to_end(200_000, steps=4, cores=1), None),
             # The acceptance config for the worker gate is deliberately the
             # perf-grade 4M population even in smoke: speedup ratios at toy
             # sizes are floored by dispatch overhead and would not witness
             # the multicore claim.
-            (lambda: bench_worker_sweep(4_194_304, steps=4), None),
-            (lambda: bench_kernel_backend_parallel(4_194_304, steps=4), None),
+            ("workers", lambda: bench_worker_sweep(4_194_304, steps=4), None),
+            ("kernel_backend_parallel",
+             lambda: bench_kernel_backend_parallel(4_194_304, steps=4), None),
             # Dispatch cost is size-independent; the smoke config is the
             # acceptance config.
-            (lambda: bench_dispatch(24_000, steps=50, cores=32), None),
+            ("dispatch", lambda: bench_dispatch(24_000, steps=50, cores=32), None),
+            # The campaign-fabric config is the acceptance config (16
+            # points, --jobs 4) in smoke too: the per-point startup tax it
+            # amortizes does not shrink with sweep size.
+            ("campaign", lambda: bench_campaign_throughput(), None),
         ]
     else:
         raise ValueError(f"unknown preset: {preset!r}")
 
+    if only is not None:
+        plan = [item for item in plan if item[0] == only]
+        if not plan:
+            raise ValueError(f"no {preset!r} entries of kind {only!r}")
+
     entries = []
-    for fn, gate in plan:
+    for _, fn, gate in plan:
         entry = fn()
         # Drivers that set their own (conditional) gate keep it.
         entry.setdefault("gate_min_speedup", gate)
@@ -731,8 +921,18 @@ def check_gates(doc: dict) -> list[str]:
             )
         if e.get("bitwise_match") is False:
             failures.append(
-                f"{e['name']}: compiled kernel results diverged bitwise "
-                "from the python kernel"
+                f"{e['name']}: optimised results diverged bitwise from "
+                "the baseline's"
+            )
+        if e.get("cache_coherent") is False:
+            failures.append(
+                f"{e['name']}: second fabric run re-executed points "
+                "instead of completing from cache"
+            )
+        if e.get("startup_once_per_worker") is False:
+            failures.append(
+                f"{e['name']}: jit_warmup_s/pool_startup_s were not "
+                "reported once per worker"
             )
     return failures
 

@@ -7,11 +7,23 @@
   matrix (optionally across worker processes), content-addresses every
   result by the spec's canonical hash, and writes a manifest.  A repeated
   run completes entirely from cache with byte-identical artifacts.
+* :mod:`repro.campaign.fabric` — the work-stealing sweep scheduler
+  behind ``jobs > 1``: persistent warm workers (JIT warmup + executor
+  pool startup paid once per worker), a single-scan cache index,
+  longest-expected-first dispatch seeded from the cost model, batched
+  artifact/manifest IO with grouped fsync, and heartbeat + requeue for
+  workers that die mid-point.
 
 The fig5/fig6/fig7 figure pipelines are campaigns over this engine (see
 ``repro.bench.campaigns`` and docs/campaigns.md).
 """
 
+from repro.campaign.fabric import (
+    CacheIndex,
+    CampaignPointError,
+    FabricConfig,
+    WorkerLostError,
+)
 from repro.campaign.runner import (
     CampaignResult,
     PointOutcome,
@@ -21,10 +33,14 @@ from repro.campaign.runner import (
 from repro.campaign.spec import CampaignPoint, CampaignSpec
 
 __all__ = [
+    "CacheIndex",
     "CampaignPoint",
+    "CampaignPointError",
     "CampaignResult",
     "CampaignSpec",
+    "FabricConfig",
     "PointOutcome",
+    "WorkerLostError",
     "artifact_path",
     "run_campaign",
 ]

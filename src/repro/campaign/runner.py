@@ -17,9 +17,24 @@ run (it contains wall-clock), the artifacts are *about* the results
 (they must not) — keep that split when extending either.
 
 Execution order is deterministic (expansion order); with ``jobs > 1``
-uncached points run concurrently in worker processes, which cannot change
-any result (the simulated world is single-threaded per point and
-bitwise-deterministic).
+uncached points run concurrently, which cannot change any result (the
+simulated world is single-threaded per point and bitwise-deterministic),
+and the manifest stays in expansion order regardless of how the sweep
+interleaved.
+
+Points that expand to the *same* canonical hash are deduplicated before
+dispatch: the first occurrence (expansion order) executes, later ones
+share its artifact and are recorded with ``duplicate_of`` pointing at the
+representative.
+
+Two parallel runners:
+
+* ``runner="fabric"`` (default) — the work-stealing fabric of
+  :mod:`repro.campaign.fabric`: persistent warm workers, cache index,
+  longest-expected-first ordering, batched IO, heartbeat + requeue.
+* ``runner="pool"`` — the PR-7 baseline: a vanilla
+  ``ProcessPoolExecutor`` submitting every point upfront.  Kept verbatim
+  as the measured baseline of ``bench_campaign_throughput``.
 """
 
 from __future__ import annotations
@@ -28,7 +43,7 @@ import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from repro.campaign.spec import CampaignPoint, CampaignSpec
@@ -47,6 +62,9 @@ class PointOutcome:
     result: dict
     cached: bool
     wall_s: float
+    #: Expansion index of the representative point this one duplicates
+    #: (same canonical hash), or None if it is its own representative.
+    duplicate_of: int | None = None
 
 
 @dataclass
@@ -56,6 +74,9 @@ class CampaignResult:
     name: str
     outcomes: list[PointOutcome] = field(default_factory=list)
     manifest_path: str | None = None
+    #: Fabric provenance (worker warmups, requeue faults) when the
+    #: work-stealing runner executed points; None otherwise.
+    fabric: dict | None = None
 
     @property
     def executed(self) -> int:
@@ -65,6 +86,10 @@ class CampaignResult:
     def cached(self) -> int:
         return sum(1 for o in self.outcomes if o.cached)
 
+    @property
+    def deduped(self) -> int:
+        return sum(1 for o in self.outcomes if o.duplicate_of is not None)
+
 
 # ----------------------------------------------------------------------
 # Cache artifacts
@@ -73,11 +98,21 @@ def artifact_path(cache_dir: str, spec_hash: str) -> str:
     return os.path.join(cache_dir, f"{spec_hash}.json")
 
 
-def _write_artifact(cache_dir: str, spec_hash: str, spec: RunSpec, result: dict) -> str:
+def _write_artifact(
+    cache_dir: str,
+    spec_hash: str,
+    spec: RunSpec,
+    result: dict,
+    *,
+    durable: bool = True,
+) -> str:
     """Atomically write one content-addressed result artifact.
 
     The content is pure canonical JSON of deterministic data, so two
-    writes of the same point produce identical bytes.
+    writes of the same point produce identical bytes.  ``durable=False``
+    skips the per-file directory fsync — used by the fabric's
+    :class:`~repro.campaign.fabric.ArtifactBatch`, which settles a whole
+    group of renames with one fsync instead.
     """
     doc = {
         "schema": ARTIFACT_SCHEMA,
@@ -92,6 +127,10 @@ def _write_artifact(cache_dir: str, spec_hash: str, spec: RunSpec, result: dict)
         fh.write(canonical_json(doc))
         fh.write("\n")
     os.replace(tmp, path)
+    if durable:
+        from repro.campaign.fabric import _fsync_dir
+
+        _fsync_dir(cache_dir)
     return path
 
 
@@ -129,6 +168,8 @@ def run_campaign(
     force: bool = False,
     select: Callable[[dict], bool] | None = None,
     progress: Callable[[str], None] | None = None,
+    runner: str = "fabric",
+    fabric: "FabricConfig | None" = None,
 ) -> CampaignResult:
     """Run every (selected) point of ``campaign``, cache-aware.
 
@@ -136,9 +177,15 @@ def run_campaign(
     come out byte-identical — that *is* the determinism check).
     ``select`` filters points by their labels (e.g. to drop the 3072-core
     fig7 point unless ``REPRO_FULL`` is set).  ``progress`` receives one
-    human-readable line per point.
+    human-readable line per point.  With ``jobs > 1`` the ``runner``
+    chooses between the work-stealing ``"fabric"`` (default) and the
+    legacy ``"pool"`` baseline; ``fabric`` overrides the fabric's knobs.
     """
+    from repro.campaign.fabric import CacheIndex, FabricConfig
     from repro.config.build import canonical_runspec
+
+    if runner not in ("fabric", "pool"):
+        raise ValueError(f"unknown campaign runner {runner!r}")
 
     points = campaign.expand()
     if select is not None:
@@ -150,10 +197,28 @@ def run_campaign(
     # byte for byte.
     canon = {p.index: canonical_runspec(p.spec) for p in points}
     hashes = {index: rs.spec_hash() for index, rs in canon.items()}
+
+    # Dedupe identical points before dispatch: the first occurrence (in
+    # expansion order) is the representative; later ones share its result
+    # and artifact without executing.
+    rep_of_hash: dict[str, int] = {}
+    duplicate_of: dict[int, int] = {}
+    for p in points:
+        h = hashes[p.index]
+        if h in rep_of_hash:
+            duplicate_of[p.index] = rep_of_hash[h]
+        else:
+            rep_of_hash[h] = p.index
+
+    # One directory scan answers every cache probe from memory; misses
+    # cost no syscall at all (see fabric.CacheIndex).
+    index = CacheIndex(cache_dir)
     outcomes: dict[int, PointOutcome] = {}
     to_run: list[CampaignPoint] = []
     for p in points:
-        cached = None if force else _read_artifact(cache_dir, hashes[p.index])
+        if p.index in duplicate_of:
+            continue
+        cached = None if force else index.lookup(hashes[p.index])
         if cached is not None:
             outcomes[p.index] = PointOutcome(
                 index=p.index, labels=p.labels, spec_hash=hashes[p.index],
@@ -164,8 +229,17 @@ def run_campaign(
         else:
             to_run.append(p)
 
+    fabric_doc = None
     if to_run:
-        if jobs > 1:
+        if jobs > 1 and runner == "fabric":
+            cfg = fabric or FabricConfig(jobs=jobs)
+            if cfg.jobs != jobs:
+                cfg = replace(cfg, jobs=jobs)
+            fabric_doc = _run_fabric(
+                campaign, points, to_run, canon, hashes, outcomes,
+                cache_dir, cfg, progress, index,
+            )
+        elif jobs > 1:
             _run_pool(
                 campaign, to_run, canon, hashes, outcomes, cache_dir, jobs,
                 progress,
@@ -183,14 +257,76 @@ def run_campaign(
                 if progress:
                     progress(_line(campaign.name, p, result, cached=False))
 
+    # Duplicates share the representative's (now materialized) result.
+    for p in points:
+        rep = duplicate_of.get(p.index)
+        if rep is None:
+            continue
+        rep_outcome = outcomes[rep]
+        outcomes[p.index] = PointOutcome(
+            index=p.index, labels=p.labels, spec_hash=rep_outcome.spec_hash,
+            result=rep_outcome.result, cached=True, wall_s=0.0,
+            duplicate_of=rep,
+        )
+        if progress:
+            progress(_line(campaign.name, p, rep_outcome.result, cached=True))
+
     ordered = [outcomes[p.index] for p in points]
-    res = CampaignResult(name=campaign.name, outcomes=ordered)
+    res = CampaignResult(name=campaign.name, outcomes=ordered, fabric=fabric_doc)
     res.manifest_path = _write_manifest(campaign, res, cache_dir)
     return res
 
 
+def _run_fabric(
+    campaign, points, to_run, canon, hashes, outcomes, cache_dir, cfg,
+    progress, index,
+):
+    """Run uncached representatives over the work-stealing fabric.
+
+    Streams the manifest as points complete (grouped with the artifact
+    flushes), so a scheduler death mid-sweep leaves a valid manifest of
+    everything finished — and those points re-run as pure cache hits.
+    """
+    from repro.campaign.fabric import run_fabric
+
+    by_index = {p.index: p for p in to_run}
+    tasks = [(p.index, p.spec, p.spec.to_dict()) for p in to_run]
+
+    def on_done(seq: int, result: dict, wall_s: float) -> None:
+        p = by_index[seq]
+        outcomes[seq] = PointOutcome(
+            index=seq, labels=p.labels, spec_hash=hashes[seq],
+            result=result, cached=False, wall_s=wall_s,
+        )
+        if progress:
+            progress(_line(campaign.name, p, result, cached=False))
+
+    def manifest_flush() -> None:
+        done = [outcomes[p.index] for p in points if p.index in outcomes]
+        partial = CampaignResult(name=campaign.name, outcomes=done)
+        _write_manifest(campaign, partial, cache_dir, complete=False)
+
+    _, stats = run_fabric(
+        tasks,
+        cache_dir=cache_dir,
+        config=cfg,
+        hashes=hashes,
+        canon=canon,
+        index=index,
+        on_done=on_done,
+        manifest_flush=manifest_flush,
+    )
+    return stats.to_doc()
+
+
 def _run_pool(campaign, to_run, canon, hashes, outcomes, cache_dir, jobs, progress):
-    """Fan uncached points out over worker processes."""
+    """PR-7 baseline: fan uncached points out over a vanilla process pool.
+
+    Kept verbatim as the measured baseline of
+    :func:`repro.bench.perf.bench_campaign_throughput` — every point pays
+    its own executor startup inside ``_execute_point``, submission order
+    is expansion order, and the cache was probed per point upstream.
+    """
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         t0 = time.perf_counter()
         futures = {
@@ -217,10 +353,24 @@ def _line(name: str, point: CampaignPoint, result: dict, *, cached: bool) -> str
     return f"[{name}] {tag:6s} {labels}: T={sim_txt}"
 
 
-def _write_manifest(campaign: CampaignSpec, res: CampaignResult, cache_dir: str) -> str:
+def _write_manifest(
+    campaign: CampaignSpec,
+    res: CampaignResult,
+    cache_dir: str,
+    *,
+    complete: bool = True,
+) -> str:
+    """Write the (possibly partial) manifest atomically.
+
+    ``complete=False`` marks a streamed mid-sweep snapshot: it lists only
+    the points finished so far, in expansion order — enough for a
+    post-mortem and for a re-run to complete the finished points from
+    cache.
+    """
     doc = {
         "schema": 1,
         "campaign": campaign.name,
+        "complete": complete,
         "points": [
             {
                 "index": o.index,
@@ -229,12 +379,20 @@ def _write_manifest(campaign: CampaignSpec, res: CampaignResult, cache_dir: str)
                 "cached": o.cached,
                 "wall_s": round(o.wall_s, 6),
                 "artifact": os.path.basename(artifact_path(cache_dir, o.spec_hash)),
+                **(
+                    {"duplicate_of": o.duplicate_of}
+                    if o.duplicate_of is not None
+                    else {}
+                ),
             }
             for o in res.outcomes
         ],
         "executed": res.executed,
         "cached": res.cached,
+        "deduped": res.deduped,
     }
+    if res.fabric is not None:
+        doc["fabric"] = res.fabric
     os.makedirs(cache_dir, exist_ok=True)
     path = os.path.join(cache_dir, f"{campaign.name}.manifest.json")
     tmp = f"{path}.tmp.{os.getpid()}"

@@ -674,20 +674,33 @@ def cmd_resilience(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignSpec, run_campaign
+    from repro.campaign import CampaignSpec, FabricConfig, run_campaign
 
     campaign = CampaignSpec.load(args.declaration)
+    fabric = FabricConfig(
+        jobs=max(args.jobs, 1),
+        io_batch=args.io_batch,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+    )
     res = run_campaign(
         campaign,
         cache_dir=args.cache,
         jobs=args.jobs,
         force=args.force,
         progress=print,
+        runner=args.runner,
+        fabric=fabric,
     )
-    print(
-        f"{len(res.outcomes)} points: {res.executed} executed, "
+    summary = f"{len(res.outcomes)} points: {res.executed} executed, " \
         f"{res.cached} cached"
-    )
+    if res.deduped:
+        summary += f" ({res.deduped} deduplicated)"
+    print(summary)
+    if res.fabric and res.fabric.get("requeues"):
+        print(
+            f"fabric requeued {res.fabric['requeues']} point(s) after "
+            f"{len(res.fabric['faults'])} worker fault(s)"
+        )
     print(f"manifest: {res.manifest_path}")
     if args.expect_cached and res.executed:
         print(
@@ -842,7 +855,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--jobs", type=int, default=1,
-        help="run uncached points across N worker processes",
+        help="run uncached points across N persistent warm workers "
+        "(the work-stealing fabric; see docs/campaigns.md)",
+    )
+    p.add_argument(
+        "--runner", choices=["fabric", "pool"], default="fabric",
+        help="parallel runner for --jobs > 1: the work-stealing fabric "
+        "(default) or the legacy upfront-submission process pool",
+    )
+    p.add_argument(
+        "--io-batch", type=int, default=8, metavar="N",
+        help="completed points buffered before artifacts + the streamed "
+        "manifest are flushed with one grouped fsync (fabric only)",
+    )
+    p.add_argument(
+        "--heartbeat-timeout", type=float, default=120.0, metavar="SECONDS",
+        help="declare a silent fabric worker lost (and requeue its "
+        "point) after this many seconds without a heartbeat",
     )
     p.add_argument(
         "--force", action="store_true",

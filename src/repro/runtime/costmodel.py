@@ -174,6 +174,31 @@ def nominal_backend_rate(backend: str) -> float:
         ) from None
 
 
+def predicted_point_pushes(n_particles: int, steps: int) -> int:
+    """Predicted kernel pushes one sweep point executes (particles x steps).
+
+    The campaign fabric orders pending points by this prediction (scaled
+    through :func:`predicted_point_seconds`) so the longest-expected points
+    start first and the sweep tail does not serialize behind a straggler —
+    the longest-processing-time-first heuristic, seeded from the model
+    rather than from measurements the first run does not have yet.
+    """
+    if n_particles < 0 or steps < 0:
+        raise ValueError("n_particles and steps must be non-negative")
+    return int(n_particles) * int(steps)
+
+
+def predicted_point_seconds(pushes: int, backend: str = "python") -> float:
+    """Predicted wall seconds for ``pushes`` on ``backend``'s nominal rate.
+
+    An *ordering prior*, not a forecast: absolute values are wrong on any
+    given host, but the ratios between points (the only thing a
+    longest-first scheduler consumes) track particle counts, step counts
+    and the relative backend speeds of :data:`NOMINAL_BACKEND_RATES`.
+    """
+    return pushes / nominal_backend_rate(backend)
+
+
 class WorkRateMeter:
     """Measured per-rank work rates (pushes/sec), EWMA-smoothed.
 

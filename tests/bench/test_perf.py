@@ -183,3 +183,35 @@ def test_cli_profile_flag(capsys):
     out = capsys.readouterr().out
     assert "cProfile: top 20" in out
     assert "cumulative" in out
+
+
+class TestCampaignBench:
+    def test_entry_shape_and_audits(self):
+        # Small live run: 4 points over 2 fabric jobs, serial-ish inner
+        # executors.  The ratio is host-dependent; the audits are not.
+        entry = perf.bench_campaign_throughput(
+            points=4, jobs=2, inner_workers=1, gate=1.0
+        )
+        assert entry["kind"] == "campaign"
+        assert entry["params"]["points"] == 4
+        assert entry["bitwise_match"] is True
+        assert entry["cache_coherent"] is True
+        assert entry["startup_once_per_worker"] is True
+        assert entry["speedup"] > 0
+        assert len(entry["rows"]) >= 2
+        for row in entry["rows"]:
+            assert len(row["pool_startup_s"]) == 1
+
+    def test_cache_incoherence_is_a_failure(self):
+        doc = _doc([_entry("c", 5.0, kind="campaign", cache_coherent=False)])
+        assert any("re-executed" in m for m in perf.check_gates(doc))
+
+    def test_per_point_startup_is_a_failure(self):
+        doc = _doc(
+            [_entry("c", 5.0, kind="campaign", startup_once_per_worker=False)]
+        )
+        assert any("once per worker" in m for m in perf.check_gates(doc))
+
+    def test_run_suite_only_filters_by_kind(self):
+        with pytest.raises(ValueError, match="entries of kind"):
+            perf.run_suite("smoke", only="nonexistent")

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.runtime.costmodel import CostModel, WorkRateMeter, payload_nbytes
+from repro.runtime.costmodel import (
+    CostModel,
+    WorkRateMeter,
+    nominal_backend_rate,
+    payload_nbytes,
+    predicted_point_pushes,
+    predicted_point_seconds,
+)
 from repro.runtime.machine import MachineModel, Tier
 
 
@@ -142,3 +149,34 @@ class TestWorkRateMeter:
             WorkRateMeter(reference_rate=0.0)
         with pytest.raises(ValueError):
             WorkRateMeter().seed({0: -1.0})
+
+
+class TestPointPrediction:
+    """The sweep-scheduling prior the campaign fabric orders points by."""
+
+    def test_pushes_are_particles_times_steps(self):
+        assert predicted_point_pushes(400, 8) == 3200
+        assert predicted_point_pushes(0, 100) == 0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_point_pushes(-1, 4)
+        with pytest.raises(ValueError):
+            predicted_point_pushes(4, -1)
+
+    def test_seconds_scale_with_backend_rate(self):
+        pushes = predicted_point_pushes(1000, 10)
+        py = predicted_point_seconds(pushes, "python")
+        comp = predicted_point_seconds(pushes, "compiled")
+        assert py == pytest.approx(pushes / nominal_backend_rate("python"))
+        # Ratios are the contract: a faster backend predicts less time.
+        assert comp < py
+
+    def test_ordering_tracks_work(self):
+        light = predicted_point_seconds(predicted_point_pushes(100, 2))
+        heavy = predicted_point_seconds(predicted_point_pushes(4000, 2))
+        assert heavy > light
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="no nominal rate"):
+            predicted_point_seconds(100, "fortran")
