@@ -775,6 +775,100 @@ def bench_campaign_throughput(
     return entry
 
 
+def bench_multiplex(
+    *,
+    engines: int = 32,
+    cores: int = 4,
+    gate: float = 0.75,
+) -> dict:
+    """Engine multiplexing overhead: N interleaved vs N sequential runs.
+
+    The same ``engines`` seed-varied mpi-2d workloads run twice: the
+    baseline drives each engine to completion with ``run()`` one after
+    another (each with its own serial executor — the classic loop), the
+    measured side time-slices all of them through one
+    :class:`~repro.runtime.multiplex.EngineGroup` over a single *shared*
+    executor pool.  Both sides report engines/sec; the ``speedup`` ratio
+    is the pool-sharing + slicing overhead (1.0x = free, the gate floors
+    it at ``gate``x — interleaving may cost bookkeeping but must never
+    approach the price of a second run).
+
+    Correctness audit: ``sim_time_match`` asserts every interleaved
+    engine's simulated clock equals its sequential twin's — wall-clock
+    scheduling is allowed to change, simulated time is not.
+
+    Single-core hosts can starve the comparison (the interpreter is
+    timeshared with whatever else CI runs there), so the gate only
+    applies with >= 2 cpus; below that the entry records an honest
+    ``gate_skipped``.
+    """
+    import os
+
+    from repro.core.spec import Distribution
+    from repro.parallel.mpi2d import Mpi2dPIC
+    from repro.runtime.executor import make_executor
+    from repro.runtime.multiplex import EngineGroup
+
+    def _spec(i: int) -> PICSpec:
+        return PICSpec(
+            cells=32, n_particles=400, steps=8,
+            distribution=Distribution.UNIFORM, seed=42 + i,
+        )
+
+    # Sequential baseline: one classic run() per engine, own executor.
+    t0 = time.perf_counter()
+    seq_times = []
+    for i in range(engines):
+        ex = make_executor("serial")
+        result = Mpi2dPIC(_spec(i), cores, executor=ex).run()
+        ex.close()
+        assert result.verification.ok
+        seq_times.append(result.total_time)
+    sequential_s = time.perf_counter() - t0
+
+    # Interleaved: every engine in one group over one shared pool.
+    t0 = time.perf_counter()
+    shared = make_executor("serial")
+    group = EngineGroup(
+        policy="fair", slice_ticks=64, order_seed=1, executor=shared
+    )
+    try:
+        for i in range(engines):
+            tag = f"e{i}"
+            impl = Mpi2dPIC(_spec(i), cores, executor=group.handle(tag))
+            group.add(tag, impl.build_engine(engine_id=tag))
+        results = group.run_all()
+    finally:
+        group.close()
+    interleaved_s = time.perf_counter() - t0
+
+    mux_times = [results[f"e{i}"].total_time for i in range(engines)]
+    sim_time_match = mux_times == seq_times
+    assert all(results[f"e{i}"].verification.ok for i in range(engines))
+
+    cpu = os.cpu_count() or 1
+    entry = dict(
+        name=f"multiplex_e{engines}_c{cores}",
+        kind="multiplex",
+        env=_entry_env(),
+        params=dict(engines=engines, cores=cores, slice_ticks=64),
+        baseline_s=sequential_s,
+        optimized_s=interleaved_s,
+        speedup=sequential_s / interleaved_s,
+        engines_per_sec_sequential=engines / sequential_s,
+        engines_per_sec_interleaved=engines / interleaved_s,
+        slices=group.slices,
+        sim_time_match=bool(sim_time_match),
+        gate_min_speedup=gate if cpu >= 2 else None,
+    )
+    if cpu < 2:
+        entry["gate_skipped"] = (
+            f"host has {cpu} cpu(s); wall-clock comparison of {engines} "
+            "interleaved engines is not meaningful on a starved host"
+        )
+    return entry
+
+
 # ----------------------------------------------------------------------
 # Suite presets
 # ----------------------------------------------------------------------
@@ -818,6 +912,10 @@ def run_suite(
             # Campaign fabric vs the pool runner; conditional >=3x gate
             # (sweep overlap needs >= jobs cores).
             ("campaign", lambda: bench_campaign_throughput(), None),
+            # Engine multiplexing overhead: 32 interleaved vs 32
+            # sequential runs; conditional >=0.75x floor (interleaving
+            # must stay near-free).
+            ("multiplex", lambda: bench_multiplex(), None),
         ]
     elif preset == "smoke":
         plan = [
@@ -845,6 +943,9 @@ def run_suite(
             # points, --jobs 4) in smoke too: the per-point startup tax it
             # amortizes does not shrink with sweep size.
             ("campaign", lambda: bench_campaign_throughput(), None),
+            # The multiplex config is the acceptance config in smoke too:
+            # 32 small engines is already CI-sized.
+            ("multiplex", lambda: bench_multiplex(), None),
         ]
     else:
         raise ValueError(f"unknown preset: {preset!r}")

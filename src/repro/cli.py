@@ -690,6 +690,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         progress=print,
         runner=args.runner,
         fabric=fabric,
+        order_seed=args.order_seed,
     )
     summary = f"{len(res.outcomes)} points: {res.executed} executed, " \
         f"{res.cached} cached"
@@ -710,6 +711,94 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def cmd_multirun(args: argparse.Namespace) -> int:
+    """Interleave several RunSpecs through one EngineGroup, one process.
+
+    The demo entry point for the multiplexed engine core: N simulations
+    time-slice over virtual time while sharing a single executor pool.
+    Results are byte-identical to running each spec alone (the
+    equivalence suite enforces it); only the wall-clock profile changes.
+    """
+    from repro.config.build import build_impl
+    from repro.config.env import (
+        resolve_executor,
+        resolve_kernel_backend,
+        resolve_workers,
+    )
+    from repro.instrument import write_engine_traces
+    from repro.runtime.executor import make_executor
+    from repro.runtime.multiplex import EngineGroup
+
+    specs: list[tuple[str, RunSpec]] = []
+    for path in args.specs:
+        rs = RunSpec.load(path)
+        stem = os.path.splitext(os.path.basename(path))[0]
+        for copy in range(max(args.copies, 1)):
+            if args.copies > 1:
+                rs_i = rs.with_overrides(
+                    workload=replace(rs.workload, seed=rs.workload.seed + copy)
+                )
+                specs.append((f"{stem}#{copy}", rs_i))
+            else:
+                specs.append((stem, rs))
+    names = [name for name, _ in specs]
+    if len(set(names)) != len(names):
+        # Same file listed twice: disambiguate by position.
+        specs = [(f"{name}@{i}", rs) for i, (name, rs) in enumerate(specs)]
+
+    shared = make_executor(
+        resolve_executor(_cli_value(args, "executor")),
+        workers=resolve_workers(_cli_value(args, "workers")),
+        kernel_backend=resolve_kernel_backend(_cli_value(args, "kernel_backend")),
+    )
+    tracers: dict[str, Tracer] = {}
+    group = EngineGroup(
+        policy=args.policy,
+        slice_ticks=args.slice_ticks,
+        order_seed=args.order_seed,
+        executor=shared,
+    )
+    print(
+        f"multiplexing {len(specs)} engines (policy={args.policy}, "
+        f"slice={args.slice_ticks} ticks, executor={shared.name})"
+    )
+    ok = True
+    try:
+        for name, rs in specs:
+            tracer = Tracer() if args.out else None
+            if tracer is not None:
+                tracers[name] = tracer
+            impl = build_impl(
+                rs, span_tracer=tracer, executor=group.handle(name)
+            )
+            group.add(name, impl.build_engine(engine_id=name))
+        results = group.run_all()
+        width = max(len(n) for n in results)
+        for name in results:
+            r = results[name]
+            ok = ok and r.verification.ok
+            mark = "ok" if r.verification.ok else "FAIL"
+            print(
+                f"  {name:<{width}}  {r.implementation} x{r.n_cores}: "
+                f"{r.total_time:.4f}s simulated  [{mark}]"
+            )
+        stats = shared.tag_stats
+        line = f"{group.slices} slices over {len(results)} engines"
+        if stats:
+            batches = sum(s["batches"] for s in stats.values())
+            per_tag = ", ".join(
+                f"{n}={stats[n]['tasks']}" for n in sorted(stats)
+            )
+            line += f"; shared pool ran {batches} batches (tasks: {per_tag})"
+        print(line)
+    finally:
+        group.close()
+    if args.out:
+        for path in write_engine_traces(tracers, args.out):
+            print(f"wrote {path}")
+    return 0 if ok else 1
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -831,6 +920,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_resilience)
 
+    p = sub.add_parser(
+        "multirun",
+        help="interleave several RunSpecs through one in-process "
+        "EngineGroup sharing a single executor pool",
+    )
+    p.add_argument(
+        "specs", nargs="+", metavar="SPEC.json",
+        help="RunSpec files; each becomes one engine in the group",
+    )
+    p.add_argument(
+        "--copies", type=int, default=1, metavar="N",
+        help="run N seed-varied copies of every spec (workload seed += "
+        "copy index)",
+    )
+    p.add_argument(
+        "--policy", choices=["fair", "deadline"], default="fair",
+        help="slice scheduling: round-robin over unfinished engines "
+        "(fair) or always the engine furthest behind in virtual time "
+        "(deadline)",
+    )
+    p.add_argument(
+        "--slice-ticks", type=int, default=64, metavar="N",
+        help="scheduler ticks granted per slice before rotating engines",
+    )
+    p.add_argument(
+        "--order-seed", type=int, default=None, metavar="N",
+        help="shuffle the fair policy's per-round engine order (results "
+        "are interleaving-invariant; this only exercises that claim)",
+    )
+    p.add_argument(
+        "--executor", choices=["serial", "batched", "process"], default=None,
+        help="shared compute backend (flag > REPRO_EXECUTOR > serial)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the shared pool "
+        "(flag > REPRO_WORKERS > 0)",
+    )
+    p.add_argument(
+        "--kernel-backend",
+        choices=["python", "compiled", "compiled-parallel", "auto"],
+        default=None,
+        help="particle-push kernel for the shared pool",
+    )
+    p.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="record per-engine span traces and write one namespaced "
+        "trace-<engine>.json per engine into DIR",
+    )
+    p.set_defaults(fn=cmd_multirun)
+
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.add_argument("names", nargs="+", choices=["fig5", "fig6l", "fig6r", "fig7"])
     p.add_argument("--out", default="benchmarks/results")
@@ -859,9 +999,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(the work-stealing fabric; see docs/campaigns.md)",
     )
     p.add_argument(
-        "--runner", choices=["fabric", "pool"], default="fabric",
+        "--runner", choices=["fabric", "pool", "engines"], default="fabric",
         help="parallel runner for --jobs > 1: the work-stealing fabric "
-        "(default) or the legacy upfront-submission process pool",
+        "(default) or the legacy upfront-submission process pool; "
+        "'engines' instead interleaves all uncached points through one "
+        "in-process EngineGroup sharing a single executor pool",
+    )
+    p.add_argument(
+        "--order-seed", type=int, default=None, metavar="N",
+        help="shuffle the engines runner's per-round slice order "
+        "(artifact bytes are interleaving-invariant — CI runs two seeds "
+        "and diffs the cache)",
     )
     p.add_argument(
         "--io-batch", type=int, default=8, metavar="N",

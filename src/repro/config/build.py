@@ -236,6 +236,16 @@ def execute_runspec(rs: RunSpec, *, executor=None) -> dict:
         raise RuntimeError(
             f"verification failed for {rs.describe()}: {result.verification}"
         )
+    return parallel_result_doc(result)
+
+
+def parallel_result_doc(result) -> dict:
+    """The deterministic result document of a finished parallel run.
+
+    Shared by :func:`execute_runspec` and the campaign engines runner
+    (:func:`repro.campaign.fabric.run_engines`) so every execution path
+    produces byte-identical artifacts for the same spec.
+    """
     return {
         "implementation": result.implementation,
         "n_ranks": result.n_ranks,

@@ -29,13 +29,21 @@ def _us(seconds: float) -> float:
     return round(seconds * 1e6, 3)
 
 
-def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
+def to_chrome_trace(tracer: Tracer, namespace: str | None = None) -> dict[str, Any]:
     """Build a Chrome Trace Event Format object from a tracer.
 
     Events are sorted by ``(pid, tid, ts)`` with metadata first, so every
     rank's track lists its spans in simulated-time order.
+
+    ``namespace`` labels the trace as belonging to one engine of a
+    multi-engine run: track display names gain an ``<ns>:`` prefix so N
+    per-engine files stay tellable apart after loading several into one
+    viewer session.  ``None`` (the default) produces byte-identical
+    output to the pre-namespace exporter — golden-trace suites compare
+    un-namespaced dumps.
     """
     validate_spans(tracer.spans)
+    prefix = "" if namespace is None else f"{namespace}:"
     events: list[dict[str, Any]] = []
     for core in tracer.cores():
         events.append(
@@ -45,7 +53,7 @@ def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
                 "pid": core,
                 "tid": 0,
                 "ts": 0,
-                "args": {"name": f"core {core}"},
+                "args": {"name": f"{prefix}core {core}"},
             }
         )
     named_threads = sorted({(s.core, s.rank) for s in tracer.spans})
@@ -57,7 +65,7 @@ def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
                 "pid": core,
                 "tid": rank,
                 "ts": 0,
-                "args": {"name": f"rank {rank}"},
+                "args": {"name": f"{prefix}rank {rank}"},
             }
         )
 
@@ -93,15 +101,37 @@ def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
     return {"displayTimeUnit": "ms", "traceEvents": events}
 
 
-def dumps_chrome_trace(tracer: Tracer) -> str:
+def dumps_chrome_trace(tracer: Tracer, namespace: str | None = None) -> str:
     """Serialize deterministically (sorted keys, no whitespace jitter)."""
-    return json.dumps(to_chrome_trace(tracer), sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        to_chrome_trace(tracer, namespace), sort_keys=True, separators=(",", ":")
+    )
 
 
-def write_chrome_trace(tracer: Tracer, path) -> None:
+def write_chrome_trace(tracer: Tracer, path, namespace: str | None = None) -> None:
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(dumps_chrome_trace(tracer))
+        fh.write(dumps_chrome_trace(tracer, namespace))
         fh.write("\n")
+
+
+def write_engine_traces(tracers: dict[str, Tracer], directory) -> list[str]:
+    """Write one namespaced ``trace-<engine>.json`` per engine.
+
+    ``tracers`` maps engine name -> that engine's (private) tracer; each
+    file is namespaced with its engine name so interleaved runs export
+    disjoint, individually-loadable traces.  Returns the written paths in
+    name order.
+    """
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for name in sorted(tracers):
+        safe = "".join(c if (c.isalnum() or c in "-_.") else "_" for c in name)
+        path = os.path.join(directory, f"trace-{safe}.json")
+        write_chrome_trace(tracers[name], path, namespace=name)
+        paths.append(path)
+    return paths
 
 
 # ----------------------------------------------------------------------

@@ -200,7 +200,48 @@ class ParallelPICBase:
     # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
+    def _engine_tag(self) -> str:
+        """Default engine id for this driver when run inside a group."""
+        return f"{self.name}-c{self.n_cores}"
+
     def run(self) -> ParallelResult:
+        """Build the engine and drive it to completion (the classic API)."""
+        engine = self.build_engine()
+        try:
+            return engine.run()
+        except BaseException:
+            # Error paths (deadlock, rank failure) must not leak a
+            # lazily-acquired default executor's worker pool.
+            engine.close()
+            raise
+
+    def close(self) -> None:
+        """Release run resources (idempotent).
+
+        Closes the scheduler side of any engine this driver built (which
+        reaps a lazily-acquired default executor's workers); an executor
+        passed to the constructor belongs to its caller and is untouched.
+        """
+        engine = getattr(self, "_engine", None)
+        if engine is not None:
+            engine.close()
+
+    def __enter__(self) -> "ParallelPICBase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def build_engine(self, *, engine_id: str | None = None):
+        """Construct a bound :class:`~repro.runtime.engine.SimEngine`.
+
+        Everything :meth:`run` historically did up to (not including) the
+        scheduler loop: decomposition, resume/checkpoint resolution,
+        initial particle placement, scheduler construction and per-rank
+        program creation.  The returned engine is ready to ``tick()``,
+        ``run()`` or ``pause()``; its ``result()`` is the driver's
+        :class:`ParallelResult`.
+        """
         if self.dims_override is not None:
             dims = tuple(self.dims_override)
             if dims[0] * dims[1] != self.n_ranks:
@@ -262,8 +303,19 @@ class ParallelPICBase:
             )
             for r in range(self.n_ranks)
         ]
-        spmd = scheduler.run(programs)
+        from repro.runtime.engine import SimEngine
 
+        self._engine = SimEngine(
+            scheduler,
+            programs,
+            engine_id=engine_id if engine_id is not None else self._engine_tag(),
+            checkpointer=checkpointer,
+            finalize=lambda spmd: self._finalize(spmd, scheduler, sampler),
+        )
+        return self._engine
+
+    def _finalize(self, spmd, scheduler, sampler) -> ParallelResult:
+        """Assemble the driver-level result from a finished SPMD run."""
         returns: list[RankReturn] = spmd.returns
         per_core: dict[int, int] = {}
         for r, ret in enumerate(returns):

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from repro.resilience.checkpoint import (
     Checkpointer,
     Snapshot,
+    pause_engine,
+    resume_engine,
     spec_from_dict,
     spec_to_dict,
 )
@@ -49,6 +51,8 @@ __all__ = [
     "Snapshot",
     "SlowdownFault",
     "StragglerWatch",
+    "pause_engine",
+    "resume_engine",
     "spec_from_dict",
     "spec_to_dict",
     "unit_hash",

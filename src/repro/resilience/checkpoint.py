@@ -273,3 +273,88 @@ class Checkpointer:
             fh.write(struct.pack("<I", crc))
         os.replace(tmp, path)
         return path
+
+
+# ----------------------------------------------------------------------
+# Engine-level pause/resume
+# ----------------------------------------------------------------------
+def pause_engine(engine, checkpointer: Checkpointer, *, force: bool = False):
+    """Drive ``engine`` to its next consistent checkpoint cut and stop.
+
+    Rank generators are not picklable, so a mid-op core dump is off the
+    table by design; what *is* capturable — bitwise-exactly — is the
+    consistent cut the checkpoint subsystem already defines at step-end
+    barriers.  Pausing therefore means: keep ticking until the
+    checkpointer writes its next scheduled file, then stop driving.  The
+    returned path feeds :func:`resume_engine`, which rebuilds an engine
+    whose continuation is byte-identical to never having paused (the cut
+    was on the uninterrupted run's schedule, so neither its clocks nor
+    its later checkpoint bytes can tell the difference).
+
+    ``force=True`` additionally arms :meth:`Checkpointer.request` so a
+    run with ``every == 0`` (or one far from its next scheduled cut) can
+    still be paused.  The extra on-demand checkpoint is a *real costed
+    operation* in simulated time — write compute plus a barrier — so a
+    forced pause is a deterministic perturbation of the timeline, not a
+    transparent one.  Equivalence tests use scheduled cuts only.
+
+    Returns the checkpoint path, or ``None`` if the engine finished
+    before reaching a cut (callers should then take ``engine.result()``).
+    """
+    from repro.runtime.engine import ENGINE_FINISHED
+    from repro.runtime.errors import RuntimeConfigError
+
+    if checkpointer.every <= 0 and not force:
+        raise RuntimeConfigError(
+            "cannot pause: checkpointer has no schedule (every == 0); "
+            "pass force=True to arm an on-demand checkpoint (note: a "
+            "forced cut charges real simulated write time)"
+        )
+    if force:
+        checkpointer.request()
+    before = checkpointer.last_path
+    while True:
+        status = engine.tick()
+        if status == ENGINE_FINISHED:
+            return None
+        engine.flush()
+        if checkpointer.last_path is not None and checkpointer.last_path != before:
+            return checkpointer.last_path
+
+
+def resume_engine(path: str, *, checkpoint_dir: str | None = None, **build_kwargs):
+    """Rebuild a paused run's engine from a checkpoint file.
+
+    Loads the CRC-validated snapshot, reconstructs the driver from the
+    ``runspec`` recorded in the checkpoint metadata and returns a fresh
+    bound :class:`~repro.runtime.engine.SimEngine` that continues from
+    the cut.  ``build_kwargs`` pass through to
+    :func:`repro.config.build.build_impl` (tracer, executor, ...).
+
+    ``checkpoint_dir`` names where the continuation keeps checkpointing
+    (an IO location, not run identity); it defaults to the directory the
+    paused run was writing into, so later scheduled checkpoints land
+    byte-identically next to the pause file.
+    """
+    import os as _os
+
+    from dataclasses import replace as _replace
+
+    from repro.config.build import build_impl
+    from repro.config.runspec import RunSpec
+
+    snapshot = Snapshot.load(path)
+    meta = snapshot.meta
+    if "runspec" not in meta:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} carries no runspec metadata; "
+            "resume it through the driver that wrote it"
+        )
+    rs = RunSpec.from_dict(meta["runspec"])
+    if checkpoint_dir is None:
+        checkpoint_dir = _os.path.dirname(_os.path.abspath(path))
+    rs = rs.with_overrides(
+        resilience=_replace(rs.resilience, checkpoint_dir=checkpoint_dir)
+    )
+    impl = build_impl(rs, resume=snapshot, **build_kwargs)
+    return impl.build_engine()

@@ -23,6 +23,13 @@ from repro.runtime.machine import MachineModel, Tier
 from repro.runtime.costmodel import CostModel
 from repro.runtime.reduce_ops import MAX, MIN, PROD, SUM
 from repro.runtime.scheduler import Scheduler, SpmdResult, run_spmd
+from repro.runtime.engine import (
+    ENGINE_BLOCKED,
+    ENGINE_FINISHED,
+    ENGINE_RUNNING,
+    SimEngine,
+)
+from repro.runtime.multiplex import EngineGroup
 
 __all__ = [
     "ANY_SOURCE",
@@ -42,4 +49,9 @@ __all__ = [
     "Scheduler",
     "SpmdResult",
     "run_spmd",
+    "SimEngine",
+    "EngineGroup",
+    "ENGINE_RUNNING",
+    "ENGINE_BLOCKED",
+    "ENGINE_FINISHED",
 ]

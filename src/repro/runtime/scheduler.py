@@ -204,9 +204,21 @@ class Scheduler:
         #: ``None`` defers to the process-wide default (REPRO_EXECUTOR env)
         #: at first use, so plain constructions stay env-configurable.
         self._executor = executor
+        #: Whether :meth:`close` owns the executor: only an instance this
+        #: scheduler acquired itself (the lazy default fallback) is closed;
+        #: one passed in belongs to its caller.
+        self._executor_defaulted = executor is None
         #: ``(rank, task)`` pairs parked since the last executor flush, in
         #: deterministic park order.
         self._pending_exec: list = []
+        #: Set once a :class:`~repro.runtime.engine.SimEngine` binds this
+        #: scheduler (directly or via :meth:`run`).  Clocks and transport
+        #: counters are not reusable, so a second bind raises.
+        self._driven = False
+        #: Engine id stamped onto executor batches (``start_batch`` tag)
+        #: when this scheduler runs inside a multi-engine group.
+        self.engine_tag: str | None = None
+        self._finished = 0
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -234,38 +246,32 @@ class Scheduler:
             self.resilience.on_step_boundary(self, rank, step)
 
     def run(self, programs: Sequence[Callable[[Comm], Any]]) -> SpmdResult:
-        """Execute one program per rank until every rank returns."""
-        if len(programs) != self.n_ranks:
-            raise RuntimeConfigError(
-                f"got {len(programs)} programs for {self.n_ranks} ranks"
-            )
-        self._states = []
-        for r, prog in enumerate(programs):
-            gen = prog(self.make_world(r))
-            self._states.append(_RankState(gen))
+        """Execute one program per rank until every rank returns.
 
-        ready = deque(range(self.n_ranks))
-        self._finished = 0
-        states = self._states
-        while self._finished < self.n_ranks:
-            if not ready:
-                if self._pending_exec:
-                    # Every runnable rank is parked on a dispatched compute
-                    # task: the batch is maximal, flush it to the executor.
-                    self._flush_compute(ready)
-                    continue
-                self._raise_deadlock()
-            self._advance_one(ready)
+        Thin drive-to-completion loop over the re-entrant engine core —
+        see :class:`repro.runtime.engine.SimEngine` for the incremental
+        API (``tick``/``flush``/``pause``).  A scheduler runs once;
+        re-entry raises :class:`RuntimeConfigError`.
+        """
+        # Local import: engine.py imports names from this module.
+        from repro.runtime.engine import SimEngine
 
-        times = list(self.clock)
-        return SpmdResult(
-            returns=[s.retval for s in states],
-            times=times,
-            total_time=max(times),
-            messages_sent=self.transport.messages_sent,
-            bytes_sent=self.transport.bytes_sent,
-            collectives=self.collectives_completed,
-        )
+        return SimEngine(self, programs).run()
+
+    #: Rank-state factory used by the engine when binding programs.
+    _rank_state = _RankState
+
+    def close(self) -> None:
+        """Release the lazily-acquired executor's workers (idempotent).
+
+        Only an executor this scheduler obtained itself (via the
+        ``default_executor()`` fallback) is closed; an instance passed to
+        the constructor belongs to its caller.  Closing the process-wide
+        default is safe: ``ProcessExecutor.close`` is idempotent and the
+        pool restarts lazily on next use.
+        """
+        if self._executor_defaulted and self._executor is not None:
+            self._executor.close()
 
     def _advance_one(self, ready: deque) -> None:
         """Pop one ready rank and drive it to its next yield point."""
@@ -344,7 +350,7 @@ class Scheduler:
         can never leak into simulated time.
         """
         batch, self._pending_exec = self._pending_exec, []
-        handle = self._get_executor().start_batch(batch)
+        handle = self._get_executor().start_batch(batch, tag=self.engine_tag)
         states = self._states
         for i, (r, _task) in enumerate(batch):
             handle.wait(i)
@@ -703,4 +709,10 @@ def run_spmd(
         programs = [program] * n_ranks
     else:
         programs = list(program)
-    return sched.run(programs)
+    try:
+        return sched.run(programs)
+    except BaseException:
+        # Error paths (deadlock, rank failure) must not leak the worker
+        # pool of a lazily-created default executor.
+        sched.close()
+        raise

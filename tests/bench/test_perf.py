@@ -215,3 +215,21 @@ class TestCampaignBench:
     def test_run_suite_only_filters_by_kind(self):
         with pytest.raises(ValueError, match="entries of kind"):
             perf.run_suite("smoke", only="nonexistent")
+
+
+class TestMultiplexBench:
+    def test_entry_shape_and_audit(self):
+        # Small live run: 4 engines interleaved vs sequential.  The ratio
+        # is host-dependent; the simulated-time audit is not.
+        entry = perf.bench_multiplex(engines=4, cores=2, gate=0.1)
+        assert entry["kind"] == "multiplex"
+        assert entry["params"]["engines"] == 4
+        assert entry["sim_time_match"] is True
+        assert entry["speedup"] > 0
+        assert entry["engines_per_sec_sequential"] > 0
+        assert entry["engines_per_sec_interleaved"] > 0
+        assert entry["slices"] >= 4
+
+    def test_sim_time_divergence_fails_the_gate_audit(self):
+        doc = _doc([_entry("m", 5.0, kind="multiplex", sim_time_match=False)])
+        assert any("simulated time" in m for m in perf.check_gates(doc))
